@@ -1,0 +1,376 @@
+// Package ariesrh is the public API of the ARIES/RH library: an
+// UNDO/REDO transaction manager with delegation, reproducing "Delegation:
+// Efficiently Rewriting History" (Pedregal Martin & Ramamritham,
+// ICDE 1997).
+//
+// Delegation — Tx.Delegate — transfers responsibility for a transaction's
+// updates on an object to another transaction.  The delegatee's commit
+// makes the delegated updates permanent and its abort obliterates them,
+// regardless of what happens to the transaction that performed them.
+// Delegation is the building block for extended transaction models; the
+// companion package ariesrh/etm synthesizes nested transactions,
+// split/join transactions, reporting transactions and co-transactions
+// from it.
+//
+// # Quick start
+//
+//	db, _ := ariesrh.Open()
+//	t1, _ := db.Begin()
+//	t2, _ := db.Begin()
+//	t1.Update(1, []byte("tentative result"))
+//	t1.Delegate(t2, 1)   // t2 is now responsible for the update
+//	t1.Abort()           // does NOT undo the delegated update
+//	t2.Commit()          // makes it permanent
+//
+// The database is crash-safe: DB.Crash simulates a failure (losing all
+// volatile state) and DB.Recover replays the write-ahead log — a single
+// forward analysis+redo pass and a backward pass that undoes exactly the
+// updates whose final delegatee did not commit, without ever rewriting
+// the log.
+package ariesrh
+
+import (
+	"errors"
+	"path/filepath"
+
+	"ariesrh/internal/core"
+	"ariesrh/internal/storage"
+	"ariesrh/internal/wal"
+)
+
+// ObjectID identifies a database object (the unit of update and
+// delegation).
+type ObjectID = wal.ObjectID
+
+// TxID identifies a transaction.
+type TxID = wal.TxID
+
+// MaxValueSize is the largest value an object can hold, in bytes.
+const MaxValueSize = storage.MaxValueSize
+
+// Errors surfaced by the API (in addition to the lock manager's deadlock
+// error, which callers should treat as "abort and retry").
+var (
+	// ErrTxDone is returned for operations on a committed or aborted Tx.
+	ErrTxDone = errors.New("ariesrh: transaction already terminated")
+	// ErrNotResponsible is returned when delegating an object the
+	// transaction holds no updates on.
+	ErrNotResponsible = core.ErrNotResponsible
+	// ErrTxGone is returned for operations on a transaction the engine
+	// no longer knows — typically one terminated behind the handle's
+	// back by a dependency cascade or a crash.
+	ErrTxGone = core.ErrNoSuchTxn
+	// ErrCrashed is returned between Crash and Recover.
+	ErrCrashed = core.ErrCrashed
+)
+
+// Options configures Open.
+type Options struct {
+	// Dir, when non-empty, makes the database file-backed: the log,
+	// pages and master record live under this directory.  Empty means
+	// fully in-memory (with simulated stable storage — Crash/Recover
+	// still behave faithfully).
+	Dir string
+	// PoolSize is the buffer-pool capacity in pages (default 128).
+	PoolSize int
+}
+
+// DB is a handle to an ARIES/RH database.
+type DB struct {
+	eng *core.Engine
+	dir string // non-empty for file-backed databases
+}
+
+// Open creates or reopens a database.  With no options the database is
+// in-memory; pass Options{Dir: path} for file-backed operation.  If the
+// stores contain state from a previous incarnation, recovery runs before
+// Open returns.
+func Open(opts ...Options) (*DB, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	engineOpts := core.Options{PoolSize: o.PoolSize}
+	// cleanup releases file handles if engine construction fails; on
+	// success the engine owns them and DB.Close goes through the engine.
+	cleanup := func() {}
+	if o.Dir != "" {
+		logStore, err := wal.OpenFileStore(filepath.Join(o.Dir, "wal.log"))
+		if err != nil {
+			return nil, err
+		}
+		master, err := wal.OpenFileStore(filepath.Join(o.Dir, "master"))
+		if err != nil {
+			logStore.Close()
+			return nil, err
+		}
+		disk, err := storage.OpenFileDisk(filepath.Join(o.Dir, "pages.db"))
+		if err != nil {
+			logStore.Close()
+			master.Close()
+			return nil, err
+		}
+		engineOpts.LogStore = logStore
+		engineOpts.MasterStore = master
+		engineOpts.Disk = disk
+		cleanup = func() {
+			logStore.Close()
+			master.Close()
+			disk.Close()
+		}
+	}
+	eng, err := core.New(engineOpts)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	return &DB{eng: eng, dir: o.Dir}, nil
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() (*Tx, error) {
+	id, err := db.eng.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{db: db, id: id}, nil
+}
+
+// Checkpoint takes a fuzzy checkpoint, bounding the work of the next
+// recovery.
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Crash simulates a failure: the buffer pool, lock table, transaction
+// table, delegation state and unflushed log tail are lost.  All live Tx
+// handles become invalid.  Call Recover before issuing new work.
+func (db *DB) Crash() error { return db.eng.Crash() }
+
+// Recover replays the log after a Crash.
+func (db *DB) Recover() error { return db.eng.Recover() }
+
+// ReadCommitted returns the current stable/buffered value of obj without
+// any transactional context.  Objects that were never written — or whose
+// writes were all undone, restoring the initial empty value — return
+// ok=false.
+func (db *DB) ReadCommitted(obj ObjectID) (val []byte, ok bool, err error) {
+	v, present, err := db.eng.ReadObject(obj)
+	if err != nil || !present || len(v) == 0 {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// ResponsibleFor returns the transaction currently responsible for the
+// update logged at lsn — the paper's ResponsibleTr, the lens through
+// which history appears rewritten.
+func (db *DB) ResponsibleFor(lsn uint64) (TxID, error) {
+	return db.eng.ResponsibleFor(wal.LSN(lsn))
+}
+
+// Stats returns engine counters (updates, delegations, recovery work...).
+func (db *DB) Stats() core.Stats { return db.eng.Stats() }
+
+// Engine exposes the underlying engine for tools and benchmarks.
+func (db *DB) Engine() *core.Engine { return db.eng }
+
+// Close flushes everything and releases file handles.
+func (db *DB) Close() error { return db.eng.Close() }
+
+// Tx is a handle to one transaction.  A Tx is not safe for concurrent use
+// by multiple goroutines; different Tx values are.
+type Tx struct {
+	db   *DB
+	id   TxID
+	done bool
+}
+
+// ID returns the transaction's identifier.
+func (tx *Tx) ID() TxID { return tx.id }
+
+// Read returns tx's view of obj under a shared lock.
+func (tx *Tx) Read(obj ObjectID) ([]byte, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	return tx.db.eng.Read(tx.id, obj)
+}
+
+// Update sets obj to val under an exclusive lock, logging before/after
+// images for recovery.
+func (tx *Tx) Update(obj ObjectID, val []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return tx.db.eng.Update(tx.id, obj, val)
+}
+
+// Delegate transfers responsibility for tx's updates on obj to the
+// transaction to.  Afterwards, to's commit or abort decides the fate of
+// those updates; tx may keep operating on the object.
+func (tx *Tx) Delegate(to *Tx, obj ObjectID) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if to.done {
+		return ErrTxDone
+	}
+	return tx.db.eng.Delegate(tx.id, to.id, obj)
+}
+
+// DelegateAll delegates every object in tx's object list to to — the
+// "delegate(t2, t1)" form used by join and by nested-transaction commit.
+func (tx *Tx) DelegateAll(to *Tx) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if to.done {
+		return ErrTxDone
+	}
+	return tx.db.eng.DelegateAll(tx.id, to.id)
+}
+
+// Increment adds delta to the counter obj and returns the new value.
+// Increments commute: concurrent transactions may increment the same
+// counter without blocking each other (they take compatible Increment
+// locks), and undo removes exactly the aborting transaction's deltas.
+// Counters are 8-byte integers; Increment on an object holding other data
+// returns an error.
+func (tx *Tx) Increment(obj ObjectID, delta int64) (int64, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	return tx.db.eng.Increment(tx.id, obj, delta)
+}
+
+// ReadCounter returns tx's view of the counter obj under a shared lock.
+func (tx *Tx) ReadCounter(obj ObjectID) (int64, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	return tx.db.eng.ReadCounter(tx.id, obj)
+}
+
+// CounterValue reads the committed/buffered counter value without any
+// transactional context.
+func (db *DB) CounterValue(obj ObjectID) (int64, error) {
+	return db.eng.CounterValue(obj)
+}
+
+// DependencyKind selects the ACTA dependency formed by FormDependency.
+type DependencyKind = core.DependencyKind
+
+// Dependency kinds (re-exported from the engine).
+const (
+	// AbortDependency: tx aborts if the depended-on transaction aborts.
+	AbortDependency = core.AbortDependency
+	// CommitDependency: tx may commit only after the depended-on
+	// transaction has terminated.
+	CommitDependency = core.CommitDependency
+)
+
+// Dependency errors (re-exported from the engine).
+var (
+	// ErrDependencyPending is returned by Commit while a commit
+	// dependency's target is still active.
+	ErrDependencyPending = core.ErrDependencyPending
+	// ErrDependencyCycle is returned by FormDependency when the new edge
+	// would close a cycle.
+	ErrDependencyCycle = core.ErrDependencyCycle
+)
+
+// FormDependency makes tx depend on the transaction `on` — ASSET's third
+// primitive.  With AbortDependency, `on`'s abort cascades to tx; with
+// CommitDependency, tx's Commit fails with ErrDependencyPending until `on`
+// has terminated.
+func (tx *Tx) FormDependency(on *Tx, kind DependencyKind) error {
+	if tx.done || on.done {
+		return ErrTxDone
+	}
+	return tx.db.eng.FormDependency(tx.id, on.id, kind)
+}
+
+// Permit grants the transaction to access to tx's lock on obj without
+// transferring responsibility — ASSET's permit primitive.  Use it to let
+// a subtransaction read its parent's uncommitted data.
+func (tx *Tx) Permit(to *Tx, obj ObjectID) error {
+	if tx.done || to.done {
+		return ErrTxDone
+	}
+	return tx.db.eng.Permit(tx.id, to.id, obj)
+}
+
+// Objects returns the objects tx is currently responsible for (its
+// Ob_List in the paper's terms), sorted.
+func (tx *Tx) Objects() ([]ObjectID, error) {
+	if tx.done {
+		return nil, ErrTxDone
+	}
+	return tx.db.eng.ObjectsOf(tx.id)
+}
+
+// DB returns the database this transaction runs against.
+func (tx *Tx) DB() *DB { return tx.db }
+
+// Commit makes every update tx is responsible for permanent.  The log is
+// forced through the commit record before Commit returns.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if err := tx.db.eng.Commit(tx.id); err != nil {
+		return err
+	}
+	tx.done = true
+	return nil
+}
+
+// Abort rolls back every update tx is responsible for — its own and any
+// received through delegation.  Updates it delegated away are untouched.
+func (tx *Tx) Abort() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	if err := tx.db.eng.Abort(tx.id); err != nil {
+		return err
+	}
+	tx.done = true
+	return nil
+}
+
+// Done reports whether the transaction was terminated through this handle.
+// A transaction ended behind the handle's back — by a dependency cascade
+// or a crash — still reports false here; its operations return
+// ErrNoSuchTxn (the engine is the source of truth).
+func (tx *Tx) Done() bool { return tx.done }
+
+// Savepoint marks a partial-rollback point.  Savepoints are volatile: a
+// crash aborts the whole transaction regardless.
+type Savepoint struct{ sp core.Savepoint }
+
+// Savepoint records a rollback point at the transaction's current state.
+func (tx *Tx) Savepoint() (Savepoint, error) {
+	if tx.done {
+		return Savepoint{}, ErrTxDone
+	}
+	sp, err := tx.db.eng.Savepoint(tx.id)
+	return Savepoint{sp: sp}, err
+}
+
+// RollbackTo undoes every update the transaction is responsible for that
+// postdates the savepoint — its own and any received through delegation —
+// and leaves the transaction active.  Updates delegated away after the
+// savepoint are untouched: the delegation stands.
+func (tx *Tx) RollbackTo(sp Savepoint) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	return tx.db.eng.RollbackTo(sp.sp)
+}
+
+// MinRequiredLSN returns the oldest log record a future recovery could
+// need; the prefix before it is archivable.  Live delegated scopes can pin
+// the log arbitrarily far back — an operational consequence of delegation.
+func (db *DB) MinRequiredLSN() (uint64, error) {
+	lsn, err := db.eng.MinRequiredLSN()
+	return uint64(lsn), err
+}

@@ -1,0 +1,52 @@
+package ariesrh
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Backup takes an online, crash-consistent backup of a file-backed
+// database into destDir: the engine is quiesced (log flushed, no
+// concurrent mutations), and the log, pages and master record are copied.
+// The backup is a valid database directory — Open on it runs ordinary
+// restart recovery, rolling back whatever was in flight at backup time.
+// In-memory databases (no Dir) cannot be backed up.
+func (db *DB) Backup(destDir string) error {
+	if db.dir == "" {
+		return fmt.Errorf("ariesrh: backup requires a file-backed database")
+	}
+	if err := os.MkdirAll(destDir, 0o755); err != nil {
+		return err
+	}
+	return db.eng.Quiesce(func() error {
+		for _, name := range []string{"wal.log", "pages.db", "master"} {
+			if err := copyFile(filepath.Join(db.dir, name), filepath.Join(destDir, name)); err != nil {
+				return fmt.Errorf("ariesrh: backup %s: %w", name, err)
+			}
+		}
+		return nil
+	})
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

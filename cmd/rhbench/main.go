@@ -1,0 +1,82 @@
+// Command rhbench regenerates the experiment tables of EXPERIMENTS.md: one
+// experiment per efficiency claim of the paper (§3.2, §4.2, §3.7, §2.2),
+// comparing ARIES/RH against conventional ARIES, the eager/lazy rewriting
+// baselines, and the EOS-style NO-UNDO/REDO engine.
+//
+// Usage:
+//
+//	rhbench            # run everything
+//	rhbench -exp e3    # run one experiment
+//	rhbench -quick     # smaller sizes (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"ariesrh/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: e1..e6, a1, or all")
+	quick := flag.Bool("quick", false, "use smaller workload sizes")
+	flag.Parse()
+
+	scale := 1
+	if *quick {
+		scale = 4
+	}
+
+	runs := []struct {
+		id  string
+		run func() (*bench.Table, error)
+	}{
+		{"e1", func() (*bench.Table, error) {
+			return bench.E1NoDelegationOverhead(400/scale, 16, 3)
+		}},
+		{"e2", func() (*bench.Table, error) {
+			sizes := []int{1, 4, 16, 64, 256, 1024}
+			if *quick {
+				sizes = []int{1, 16, 256}
+			}
+			return bench.E2DelegationLinearity(sizes, 3)
+		}},
+		{"e3", func() (*bench.Table, error) {
+			return bench.E3RecoveryVsDelegationRate(6000/scale, []float64{0, 0.05, 0.10, 0.20, 0.40})
+		}},
+		{"e4", func() (*bench.Table, error) {
+			lengths := []int{1000, 4000, 16000, 64000}
+			if *quick {
+				lengths = []int{1000, 8000}
+			}
+			return bench.E4EagerSweepVsLogLength(lengths)
+		}},
+		{"e5", func() (*bench.Table, error) {
+			return bench.E5EOS(400/scale, 16, 4)
+		}},
+		{"e6", func() (*bench.Table, error) {
+			return bench.E6ETMMacro(2000 / scale)
+		}},
+		{"a1", func() (*bench.Table, error) {
+			return bench.A1ClusterSweepAblation(6000/scale, []float64{0, 0.10, 0.40})
+		}},
+	}
+
+	ran := false
+	for _, r := range runs {
+		if *exp != "all" && !strings.EqualFold(*exp, r.id) {
+			continue
+		}
+		ran = true
+		table, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		fmt.Println(table.Format())
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q (want e1..e6, a1, or all)", *exp)
+	}
+}

@@ -1,0 +1,98 @@
+package etm
+
+import (
+	"fmt"
+
+	"ariesrh"
+)
+
+// CoPair implements co-transactions (§2.2 / Chrysanthis & Ramamritham):
+// two cooperating transactions between which control passes at delegation
+// points.  Exactly one side is active at a time; Handoff delegates the
+// named objects (or, with no arguments, everything the active side is
+// responsible for) to the peer and passes control to it.
+type CoPair struct {
+	a, b   *ariesrh.Tx
+	active *ariesrh.Tx
+}
+
+// BeginCoPair starts both cooperating transactions; side A is active.
+func BeginCoPair(db *ariesrh.DB) (*CoPair, error) {
+	a, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	b, err := db.Begin()
+	if err != nil {
+		a.Abort()
+		return nil, err
+	}
+	return &CoPair{a: a, b: b, active: a}, nil
+}
+
+// Active returns the side currently holding control.
+func (c *CoPair) Active() *ariesrh.Tx { return c.active }
+
+// peer returns the inactive side.
+func (c *CoPair) peer() *ariesrh.Tx {
+	if c.active == c.a {
+		return c.b
+	}
+	return c.a
+}
+
+// Update updates obj through the active side.
+func (c *CoPair) Update(obj ariesrh.ObjectID, val []byte) error {
+	return c.active.Update(obj, val)
+}
+
+// Read reads obj through the active side.
+func (c *CoPair) Read(obj ariesrh.ObjectID) ([]byte, error) {
+	return c.active.Read(obj)
+}
+
+// Handoff delegates the given objects (all of the active side's objects
+// if none are named) to the peer and passes control to it.
+func (c *CoPair) Handoff(objs ...ariesrh.ObjectID) error {
+	peer := c.peer()
+	if len(objs) == 0 {
+		if err := c.active.DelegateAll(peer); err != nil {
+			return err
+		}
+	} else {
+		for _, obj := range objs {
+			if err := c.active.Delegate(peer, obj); err != nil {
+				return fmt.Errorf("etm: handoff of object %d: %w", obj, err)
+			}
+		}
+	}
+	c.active = peer
+	return nil
+}
+
+// Commit commits the active side (which, after a final Handoff, is
+// responsible for the pair's surviving work) and retires the peer by
+// aborting it — by construction the peer is responsible for nothing the
+// pair wants kept.
+func (c *CoPair) Commit() error {
+	if err := c.active.Commit(); err != nil {
+		return err
+	}
+	if !c.peer().Done() {
+		return c.peer().Abort()
+	}
+	return nil
+}
+
+// Abort rolls back both sides.
+func (c *CoPair) Abort() error {
+	var first error
+	for _, tx := range []*ariesrh.Tx{c.a, c.b} {
+		if !tx.Done() {
+			if err := tx.Abort(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,183 @@
+package etm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ariesrh"
+)
+
+// TestNestedTreeCrashMidFlight: a crash while the root is still open kills
+// the whole tree, including subtransactions that had already "committed"
+// (their changes were delegated to the root, which is a loser).
+func TestNestedTreeCrashMidFlight(t *testing.T) {
+	db := newDB(t)
+	root, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Sub(func(c *NestedTx) error {
+		return c.Update(1, []byte("sub-committed"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Update(2, []byte("root-own")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "")
+	wantVal(t, db, 2, "")
+}
+
+// TestNestedTreeCrashAfterRootCommit: once the root commits, everything
+// the tree produced is durable.
+func TestNestedTreeCrashAfterRootCommit(t *testing.T) {
+	db := newDB(t)
+	root, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Sub(func(c *NestedTx) error {
+		if err := c.Update(1, []byte("leaf")); err != nil {
+			return err
+		}
+		return c.Sub(func(g *NestedTx) error {
+			return g.Update(2, []byte("grandleaf"))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "leaf")
+	wantVal(t, db, 2, "grandleaf")
+}
+
+// TestSplitCrashBetweenHalves: the committed split half survives a crash
+// that kills the still-open session.
+func TestSplitCrashBetweenHalves(t *testing.T) {
+	db := newDB(t)
+	sess, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Update(1, []byte("finished")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Update(2, []byte("in-progress")); err != nil {
+		t.Fatal(err)
+	}
+	early, err := Split(sess, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := early.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "finished")
+	wantVal(t, db, 2, "")
+}
+
+// TestCoPairCrash: everything still in flight in a co-transaction pair is
+// lost with a crash, regardless of which side held control.
+func TestCoPairCrash(t *testing.T) {
+	db := newDB(t)
+	pair, err := BeginCoPair(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Update(1, []byte("a-side")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Handoff(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Update(2, []byte("b-side")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "")
+	wantVal(t, db, 2, "")
+}
+
+// TestManyReportsUnderCrashes interleaves reports and crashes: exactly the
+// reported prefix survives each time.
+func TestManyReportsUnderCrashes(t *testing.T) {
+	db := newDB(t)
+	reported := 0
+	for round := 0; round < 3; round++ {
+		job, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 4; i++ {
+			obj := ariesrh.ObjectID(round*10 + i)
+			if err := job.Update(obj, []byte(fmt.Sprintf("r%d-%d", round, i))); err != nil {
+				t.Fatal(err)
+			}
+			if i <= 2 {
+				if err := Report(job, obj); err != nil {
+					t.Fatal(err)
+				}
+				reported++
+			}
+		}
+		if err := db.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 4; i++ {
+			obj := ariesrh.ObjectID(round*10 + i)
+			if i <= 2 {
+				wantVal(t, db, obj, fmt.Sprintf("r%d-%d", round, i))
+			} else {
+				wantVal(t, db, obj, "")
+			}
+		}
+	}
+	if reported != 6 {
+		t.Fatalf("reported %d", reported)
+	}
+}
+
+// TestNestedSubErrorWraps: Sub's error wraps both ErrSubAborted and the
+// user error, so callers can distinguish the failure cause.
+func TestNestedSubErrorWraps(t *testing.T) {
+	db := newDB(t)
+	root, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err = root.Sub(func(c *NestedTx) error { return boom })
+	if !errors.Is(err, ErrSubAborted) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	root.Abort()
+}

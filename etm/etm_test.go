@@ -1,0 +1,557 @@
+package etm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ariesrh"
+)
+
+func newDB(t *testing.T) *ariesrh.DB {
+	t.Helper()
+	db, err := ariesrh.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func wantVal(t *testing.T, db *ariesrh.DB, obj ariesrh.ObjectID, want string) {
+	t.Helper()
+	v, ok, err := db.ReadCommitted(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == "" {
+		if ok && len(v) > 0 {
+			t.Fatalf("object %d = %q, want empty", obj, v)
+		}
+		return
+	}
+	if !ok || !bytes.Equal(v, []byte(want)) {
+		t.Fatalf("object %d = %q (ok=%v), want %q", obj, v, ok, want)
+	}
+}
+
+const (
+	objFlight = ariesrh.ObjectID(1)
+	objHotel  = ariesrh.ObjectID(2)
+)
+
+// TestNestedTripSuccess is the paper's §2.2.2 trip example: airline and
+// hotel reservations as subtransactions of a trip transaction.
+func TestNestedTripSuccess(t *testing.T) {
+	db := newDB(t)
+	trip, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trip.Sub(func(res *NestedTx) error {
+		return res.Update(objFlight, []byte("UA-0042"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trip.Sub(func(res *NestedTx) error {
+		return res.Update(objHotel, []byte("room-17"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Before the root commits, nothing is permanent...
+	// (values are applied in place but their fate is the root's).
+	if err := trip.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, objFlight, "UA-0042")
+	wantVal(t, db, objHotel, "room-17")
+}
+
+// TestNestedTripHotelFails: the hotel reservation fails, the trip is
+// canceled, and the *airline* reservation — already "committed" by its
+// subtransaction — must not survive, because its effects were delegated
+// to the root and the root aborted.
+func TestNestedTripHotelFails(t *testing.T) {
+	db := newDB(t)
+	trip, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trip.Sub(func(res *NestedTx) error {
+		return res.Update(objFlight, []byte("UA-0042"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err = trip.Sub(func(res *NestedTx) error {
+		if err := res.Update(objHotel, []byte("room-17")); err != nil {
+			return err
+		}
+		return errors.New("no rooms available")
+	})
+	if !errors.Is(err, ErrSubAborted) {
+		t.Fatalf("err = %v, want ErrSubAborted", err)
+	}
+	// The failed subtransaction's own changes are already rolled back.
+	wantVal(t, db, objHotel, "")
+	// Cancel the trip: the airline reservation dies with the root.
+	if err := trip.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, objFlight, "")
+}
+
+func TestNestedSubFailureIsIsolated(t *testing.T) {
+	// Failure atomicity: an aborting subtransaction does not take the
+	// parent's own updates with it.
+	db := newDB(t)
+	root, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Update(10, []byte("parent-data")); err != nil {
+		t.Fatal(err)
+	}
+	err = root.Sub(func(child *NestedTx) error {
+		if err := child.Update(11, []byte("child-data")); err != nil {
+			return err
+		}
+		return errors.New("boom")
+	})
+	if !errors.Is(err, ErrSubAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := root.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 10, "parent-data")
+	wantVal(t, db, 11, "")
+}
+
+func TestNestedThreeLevels(t *testing.T) {
+	db := newDB(t)
+	root, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Sub(func(mid *NestedTx) error {
+		if err := mid.Update(1, []byte("mid")); err != nil {
+			return err
+		}
+		return mid.Sub(func(leaf *NestedTx) error {
+			return leaf.Update(2, []byte("leaf"))
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "mid")
+	wantVal(t, db, 2, "leaf")
+}
+
+func TestNestedChildSeesParentData(t *testing.T) {
+	// permit lets the child read the parent's uncommitted updates.
+	db := newDB(t)
+	root, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Update(5, []byte("visible")); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Sub(func(child *NestedTx) error {
+		v, err := child.Read(5)
+		if err != nil {
+			return err
+		}
+		if string(v) != "visible" {
+			return fmt.Errorf("child read %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedCommitOnSubRejected(t *testing.T) {
+	db := newDB(t)
+	root, err := BeginNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Sub(func(child *NestedTx) error {
+		return child.Commit()
+	}); err == nil {
+		t.Fatal("subtransaction Commit accepted")
+	}
+	root.Abort()
+}
+
+func TestSplitIndependentFates(t *testing.T) {
+	db := newDB(t)
+	t1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Update(1, []byte("split-off")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Update(2, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Split(t1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two halves commit/abort independently (§2.2.1).
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "split-off") // t2's responsibility, still alive
+	wantVal(t, db, 2, "")          // died with t1
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "split-off")
+}
+
+func TestSplitOfUnownedObjectFails(t *testing.T) {
+	db := newDB(t)
+	t1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Split(t1, 42); err == nil {
+		t.Fatal("split of unowned object accepted")
+	}
+	t1.Abort()
+}
+
+func TestJoin(t *testing.T) {
+	db := newDB(t)
+	t1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update(1, []byte("joined-work")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Join(t2, t1); err != nil {
+		t.Fatal(err)
+	}
+	if !t2.Done() {
+		t.Fatal("joined transaction still live")
+	}
+	// t1 now owns t2's work.
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "joined-work")
+}
+
+func TestJoinThenAbortDropsJoinedWork(t *testing.T) {
+	db := newDB(t)
+	t1, _ := db.Begin()
+	t2, _ := db.Begin()
+	if err := t2.Update(1, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Join(t2, t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "")
+}
+
+// TestReportingSurvivesCrash demonstrates delegation's control over
+// recovery: results reported by a still-running transaction survive a
+// crash that kills the transaction itself.
+func TestReportingSurvivesCrash(t *testing.T) {
+	db := newDB(t)
+	long, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Update(1, []byte("progress-1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := Report(long, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := long.Update(2, []byte("unreported")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the long transaction is a loser...
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// ...but its reported result is permanent.
+	wantVal(t, db, 1, "progress-1")
+	wantVal(t, db, 2, "")
+}
+
+func TestReporterFlushesEveryInterval(t *testing.T) {
+	db := newDB(t)
+	long, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReporter(long, 3)
+	for i := 1; i <= 7; i++ {
+		if err := r.Update(ariesrh.ObjectID(i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Updates 1..6 were reported (two flushes); 7 is pending.
+	wantVal(t, db, 3, "v3")
+	wantVal(t, db, 6, "v6")
+	if err := long.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 6, "v6") // reported: survives the abort
+	wantVal(t, db, 7, "")   // pending: dies with the transaction
+}
+
+func TestCoTransactionsPingPong(t *testing.T) {
+	db := newDB(t)
+	pair, err := BeginCoPair(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Update(1, []byte("from-a")); err != nil {
+		t.Fatal(err)
+	}
+	a := pair.Active()
+	if err := pair.Handoff(); err != nil {
+		t.Fatal(err)
+	}
+	if pair.Active() == a {
+		t.Fatal("control did not pass")
+	}
+	// B reads A's delegated work and builds on it.
+	v, err := pair.Read(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "from-a" {
+		t.Fatalf("B sees %q", v)
+	}
+	if err := pair.Update(2, []byte("from-b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Handoff(); err != nil { // everything back to A
+		t.Fatal(err)
+	}
+	if err := pair.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "from-a")
+	wantVal(t, db, 2, "from-b")
+}
+
+func TestCoTransactionsAbort(t *testing.T) {
+	db := newDB(t)
+	pair, err := BeginCoPair(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Update(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Handoff(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pair.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "")
+}
+
+func TestJointCommit(t *testing.T) {
+	db := newDB(t)
+	j, err := BeginJoint(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < j.Size(); i++ {
+		if err := j.Member(i).Update(ariesrh.ObjectID(i+1), []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		wantVal(t, db, ariesrh.ObjectID(i+1), fmt.Sprintf("m%d", i))
+	}
+}
+
+func TestJointAbortTakesEveryone(t *testing.T) {
+	db := newDB(t)
+	j, err := BeginJoint(db, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < j.Size(); i++ {
+		if err := j.Member(i).Update(ariesrh.ObjectID(i+1), []byte("doomed")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		wantVal(t, db, ariesrh.ObjectID(i+1), "")
+	}
+}
+
+func TestJointMemberCascade(t *testing.T) {
+	// Aborting the anchor member directly cascades to the others.
+	db := newDB(t)
+	j, err := BeginJoint(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Member(1).Update(5, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Member(0).Abort(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 5, "")
+	// Member 1 is gone at the engine level.
+	if err := j.Member(1).Update(6, []byte("x")); !errors.Is(err, ariesrh.ErrTxGone) {
+		t.Fatalf("err = %v, want ErrTxGone", err)
+	}
+}
+
+func TestJointTooSmall(t *testing.T) {
+	db := newDB(t)
+	if _, err := BeginJoint(db, 1); err == nil {
+		t.Fatal("joint of one accepted")
+	}
+}
+
+func TestOpenNestedCommit(t *testing.T) {
+	db := newDB(t)
+	on, err := BeginOpenNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A child's effect is visible immediately, before the parent ends.
+	if err := on.Sub(func(c *ariesrh.Tx) error {
+		return c.Update(1, []byte("open-child"))
+	}, func(c *ariesrh.Tx) error {
+		return c.Update(1, nil)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "open-child") // visible NOW
+	if err := on.Tx().Update(2, []byte("parent-own")); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "open-child")
+	wantVal(t, db, 2, "parent-own")
+}
+
+func TestOpenNestedAbortCompensates(t *testing.T) {
+	db := newDB(t)
+	on, err := BeginOpenNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two children: a reservation counter and a booking record.
+	if err := on.Sub(func(c *ariesrh.Tx) error {
+		_, err := c.Increment(10, 1) // reserve a seat
+		return err
+	}, func(c *ariesrh.Tx) error {
+		_, err := c.Increment(10, -1) // release it
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Sub(func(c *ariesrh.Tx) error {
+		return c.Update(11, []byte("booked"))
+	}, func(c *ariesrh.Tx) error {
+		return c.Update(11, []byte("canceled"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Tx().Update(12, []byte("parent-own")); err != nil {
+		t.Fatal(err)
+	}
+	// Parent aborts: its own work rolls back physically; the children
+	// are compensated semantically, in reverse order.
+	if err := on.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 12, "")
+	wantVal(t, db, 11, "canceled")
+	if v, err := db.CounterValue(10); err != nil || v != 0 {
+		t.Fatalf("counter = %d err=%v", v, err)
+	}
+}
+
+func TestOpenNestedChildSurvivesParentCrash(t *testing.T) {
+	// The open-nesting point: a committed child survives even a crash
+	// that kills the parent (no compensation runs — crashes cannot run
+	// sagas; that is the documented trade).
+	db := newDB(t)
+	on, err := BeginOpenNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Sub(func(c *ariesrh.Tx) error {
+		return c.Update(1, []byte("durable-child"))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Tx().Update(2, []byte("parent-own")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	wantVal(t, db, 1, "durable-child")
+	wantVal(t, db, 2, "")
+}
+
+func TestOpenNestedSubFailureRollsBackChild(t *testing.T) {
+	db := newDB(t)
+	on, err := BeginOpenNested(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = on.Sub(func(c *ariesrh.Tx) error {
+		if err := c.Update(1, []byte("half")); err != nil {
+			return err
+		}
+		return errors.New("boom")
+	}, nil)
+	if !errors.Is(err, ErrSubAborted) {
+		t.Fatalf("err = %v", err)
+	}
+	wantVal(t, db, 1, "")
+	if err := on.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,93 @@
+package etm
+
+import (
+	"errors"
+	"fmt"
+
+	"ariesrh"
+)
+
+// Joint transactions (§1 of the paper lists them among the models
+// delegation synthesizes): a set of transactions that succeed or fail as
+// one.  Mutual abort dependencies couple their failures; at commit time
+// every member delegates its work to a single committer, so one commit
+// record seals the joint outcome.
+type Joint struct {
+	db      *ariesrh.DB
+	members []*ariesrh.Tx
+}
+
+// BeginJoint starts n jointly-fated transactions (n ≥ 2).
+func BeginJoint(db *ariesrh.DB, n int) (*Joint, error) {
+	if n < 2 {
+		return nil, errors.New("etm: a joint transaction needs at least two members")
+	}
+	j := &Joint{db: db}
+	for i := 0; i < n; i++ {
+		tx, err := db.Begin()
+		if err != nil {
+			j.Abort()
+			return nil, err
+		}
+		j.members = append(j.members, tx)
+	}
+	// Mutual abort dependencies along a cycle-free chain in each
+	// direction is impossible (that IS a cycle) — the dependency graph
+	// forbids mutual edges.  Use a star instead: everyone abort-depends
+	// on member 0, and member 0 abort-depends on nobody; Abort() below
+	// aborts member 0 first so the cascade reaches everyone.
+	for _, tx := range j.members[1:] {
+		if err := tx.FormDependency(j.members[0], ariesrh.AbortDependency); err != nil {
+			j.Abort()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Member returns the i-th member transaction.
+func (j *Joint) Member(i int) *ariesrh.Tx { return j.members[i] }
+
+// Size returns the number of members.
+func (j *Joint) Size() int { return len(j.members) }
+
+// Commit seals the joint outcome: members 1..n-1 delegate everything they
+// are responsible for to member 0, retire, and member 0 commits.
+func (j *Joint) Commit() error {
+	head := j.members[0]
+	for i, tx := range j.members[1:] {
+		if err := tx.DelegateAll(head); err != nil {
+			return fmt.Errorf("etm: joint member %d: %w", i+1, err)
+		}
+		if err := tx.Commit(); err != nil {
+			return fmt.Errorf("etm: joint member %d retire: %w", i+1, err)
+		}
+	}
+	return head.Commit()
+}
+
+// Abort rolls the whole joint transaction back.  Aborting member 0 first
+// cascades through the abort dependencies; stragglers (members that never
+// formed their edge because construction failed midway) are aborted
+// explicitly.
+func (j *Joint) Abort() error {
+	var first error
+	if len(j.members) > 0 && !j.members[0].Done() {
+		first = j.members[0].Abort()
+	}
+	for _, tx := range j.members[1:] {
+		if tx.Done() {
+			continue
+		}
+		err := tx.Abort()
+		if err == nil || errors.Is(err, ariesrh.ErrTxDone) || errors.Is(err, ariesrh.ErrTxGone) {
+			// ErrTxGone: the cascade already ended the engine
+			// transaction; the handle just doesn't know.
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}

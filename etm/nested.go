@@ -1,0 +1,122 @@
+// Package etm synthesizes Extended Transaction Models from the ASSET
+// primitives exposed by package ariesrh — delegate, permit and the
+// standard begin/commit/abort — following §2.2 of "Delegation: Efficiently
+// Rewriting History".  No ETM here touches the recovery system: each model
+// is a thin composition of delegations, which is precisely the paper's
+// thesis (one general mechanism, many transaction models).
+//
+// Provided models:
+//
+//   - Nested transactions (Moss): subtransactions are failure-atomic
+//     against their parent; on commit a child delegates all its changes
+//     upward ("inheritance is an instance of delegation").
+//   - Split/Join transactions (Pu et al.): a transaction splits off
+//     responsibility for part of its work into an independent transaction,
+//     or two transactions join into one.
+//   - Reporting transactions: a long-running transaction periodically
+//     publishes its current results by delegating them to a short-lived
+//     committing transaction.
+//   - Co-transactions: control (and object responsibility) ping-pongs
+//     between two cooperating transactions at delegation points.
+//   - Joint transactions: a set of transactions coupled into one fate via
+//     form-dependency, committing through a single member by delegation.
+//   - Open nested transactions: subtransactions commit for real at once
+//     and the parent compensates semantically on abort.
+package etm
+
+import (
+	"errors"
+	"fmt"
+
+	"ariesrh"
+)
+
+// ErrSubAborted is returned by Sub when the child function failed and the
+// subtransaction was rolled back.  The parent survives (failure atomicity
+// of subtransactions).
+var ErrSubAborted = errors.New("etm: subtransaction aborted")
+
+// NestedTx is a node in a nested-transaction tree: the root is a
+// top-level transaction; children are created with Sub.
+type NestedTx struct {
+	tx     *ariesrh.Tx
+	parent *NestedTx
+}
+
+// BeginNested starts the root of a nested transaction.
+func BeginNested(db *ariesrh.DB) (*NestedTx, error) {
+	tx, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &NestedTx{tx: tx}, nil
+}
+
+// Tx returns the underlying transaction (for delegation to/from the tree).
+func (n *NestedTx) Tx() *ariesrh.Tx { return n.tx }
+
+// Read reads obj within the (sub)transaction.
+func (n *NestedTx) Read(obj ariesrh.ObjectID) ([]byte, error) { return n.tx.Read(obj) }
+
+// Update updates obj within the (sub)transaction.
+func (n *NestedTx) Update(obj ariesrh.ObjectID, val []byte) error { return n.tx.Update(obj, val) }
+
+// Sub runs fn as a subtransaction, per the paper's translation (§2.2.2):
+//
+//	t1 = initiate(fn); permit(self(), t1); begin(t1)
+//	if (!wait(t1)) abort(self())     // here: return the error instead
+//	delegate(t1, self()); commit(t1)
+//
+// On success the child's changes are delegated to the parent — they become
+// the parent's responsibility and are made permanent only when the topmost
+// root commits.  On failure the child's own changes are rolled back and
+// ErrSubAborted (wrapping fn's error) is returned; the parent remains
+// intact and may retry or compensate.
+func (n *NestedTx) Sub(fn func(*NestedTx) error) error {
+	childTx, err := n.tx.DB().Begin()
+	if err != nil {
+		return err
+	}
+	child := &NestedTx{tx: childTx, parent: n}
+	// permit(self(), t1): the child may access every object the parent
+	// is currently responsible for without conflicting.
+	objs, err := n.tx.Objects()
+	if err != nil {
+		childTx.Abort()
+		return err
+	}
+	for _, obj := range objs {
+		if err := n.tx.Permit(childTx, obj); err != nil {
+			// The parent is responsible for the object but holds no
+			// lock (it arrived via delegation without access);
+			// access stays conflict-checked for the child.
+			continue
+		}
+	}
+	if err := fn(child); err != nil {
+		if abortErr := childTx.Abort(); abortErr != nil && !errors.Is(abortErr, ariesrh.ErrTxDone) {
+			return fmt.Errorf("etm: rollback of subtransaction failed: %v (after %w)", abortErr, err)
+		}
+		return fmt.Errorf("%w: %w", ErrSubAborted, err)
+	}
+	// delegate(t1, self()); commit(t1): inheritance by delegation.
+	if err := childTx.DelegateAll(n.tx); err != nil {
+		childTx.Abort()
+		return err
+	}
+	return childTx.Commit()
+}
+
+// Commit commits the root transaction, making the whole tree's surviving
+// changes permanent.  Calling Commit on a non-root node is an error: a
+// subtransaction commits by returning nil from its Sub function.
+func (n *NestedTx) Commit() error {
+	if n.parent != nil {
+		return fmt.Errorf("etm: commit of a subtransaction; return nil from Sub instead")
+	}
+	return n.tx.Commit()
+}
+
+// Abort rolls back the (sub)transaction and everything it is responsible
+// for, including changes inherited from committed descendants.
+func (n *NestedTx) Abort() error { return n.tx.Abort() }

@@ -1,0 +1,111 @@
+package etm
+
+import (
+	"errors"
+	"fmt"
+
+	"ariesrh"
+)
+
+// OpenNested implements open nested transactions (§1 of the paper lists
+// them among the models delegation synthesizes): a subtransaction's
+// effects become visible AND permanent as soon as the subtransaction
+// commits — it delegates its work to a short-lived committing transaction,
+// exactly like a Report — and the parent compensates semantically, by
+// running registered compensation actions, if it later aborts.
+//
+// This trades isolation for concurrency, the classic open-nesting deal:
+// the parent cannot physically undo a committed child, so every Sub call
+// supplies the compensation that logically reverses it.
+type OpenNested struct {
+	db            *ariesrh.DB
+	tx            *ariesrh.Tx
+	compensations []func(*ariesrh.Tx) error
+	done          bool
+}
+
+// BeginOpenNested starts an open nested transaction.
+func BeginOpenNested(db *ariesrh.DB) (*OpenNested, error) {
+	tx, err := db.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &OpenNested{db: db, tx: tx}, nil
+}
+
+// Tx returns the parent's own transaction (for direct parent-level work,
+// which stays closed-nested: it commits or aborts with the parent).
+func (o *OpenNested) Tx() *ariesrh.Tx { return o.tx }
+
+// Sub runs action as an open subtransaction.  On success the
+// subtransaction's effects are committed immediately (visible to everyone,
+// crash-durable) and compensate is remembered; if the parent later aborts,
+// the compensations run in reverse order, each as its own committing
+// transaction.  On failure the subtransaction is rolled back physically
+// and the error returned wrapped in ErrSubAborted.
+func (o *OpenNested) Sub(action func(*ariesrh.Tx) error, compensate func(*ariesrh.Tx) error) error {
+	if o.done {
+		return ariesrh.ErrTxDone
+	}
+	child, err := o.db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := action(child); err != nil {
+		if abortErr := child.Abort(); abortErr != nil && !errors.Is(abortErr, ariesrh.ErrTxDone) {
+			return fmt.Errorf("etm: open-nested rollback failed: %v (after %w)", abortErr, err)
+		}
+		return fmt.Errorf("%w: %w", ErrSubAborted, err)
+	}
+	if err := child.Commit(); err != nil {
+		return err
+	}
+	if compensate != nil {
+		o.compensations = append(o.compensations, compensate)
+	}
+	return nil
+}
+
+// Commit commits the parent's own work and discards the compensations —
+// the children's effects were already permanent.
+func (o *OpenNested) Commit() error {
+	if o.done {
+		return ariesrh.ErrTxDone
+	}
+	if err := o.tx.Commit(); err != nil {
+		return err
+	}
+	o.done = true
+	o.compensations = nil
+	return nil
+}
+
+// Abort rolls back the parent's own work physically, then compensates the
+// committed children semantically, in reverse order.  Each compensation
+// runs in its own transaction; the first failure stops the chain and is
+// returned (remaining compensations are NOT run — the caller owns the
+// partial-compensation decision, as in any saga).
+func (o *OpenNested) Abort() error {
+	if o.done {
+		return ariesrh.ErrTxDone
+	}
+	if err := o.tx.Abort(); err != nil && !errors.Is(err, ariesrh.ErrTxDone) && !errors.Is(err, ariesrh.ErrTxGone) {
+		return err
+	}
+	o.done = true
+	for i := len(o.compensations) - 1; i >= 0; i-- {
+		comp, err := o.db.Begin()
+		if err != nil {
+			return err
+		}
+		if err := o.compensations[i](comp); err != nil {
+			comp.Abort()
+			return fmt.Errorf("etm: compensation %d failed: %w", i, err)
+		}
+		if err := comp.Commit(); err != nil {
+			return fmt.Errorf("etm: compensation %d commit: %w", i, err)
+		}
+	}
+	o.compensations = nil
+	return nil
+}

@@ -1,0 +1,82 @@
+package etm
+
+import (
+	"fmt"
+
+	"ariesrh"
+)
+
+// Report publishes tx's current results on the given objects (the
+// reporting-transactions model, §2.2 / Chrysanthis & Ramamritham): a
+// short-lived transaction receives the objects by delegation and commits
+// immediately, making the delegated updates permanent and visible even
+// though tx itself is still running — and even if tx later aborts or the
+// system crashes.
+//
+// After a Report, tx is no longer responsible for the reported updates;
+// updates it performs on the same objects afterwards form a new, again
+// tentative, responsibility that a later Report can publish.
+func Report(tx *ariesrh.Tx, objs ...ariesrh.ObjectID) error {
+	rep, err := tx.DB().Begin()
+	if err != nil {
+		return err
+	}
+	for _, obj := range objs {
+		if err := tx.Delegate(rep, obj); err != nil {
+			rep.Abort()
+			return fmt.Errorf("etm: report of object %d: %w", obj, err)
+		}
+	}
+	return rep.Commit()
+}
+
+// Reporter wraps a long-running transaction with periodic publishing: every
+// Interval updates, the touched objects are reported.
+type Reporter struct {
+	tx       *ariesrh.Tx
+	Interval int
+	pending  map[ariesrh.ObjectID]struct{}
+	count    int
+}
+
+// NewReporter wraps tx; every interval updates, Update triggers a Report
+// of the objects touched since the last one.
+func NewReporter(tx *ariesrh.Tx, interval int) *Reporter {
+	if interval < 1 {
+		interval = 1
+	}
+	return &Reporter{tx: tx, Interval: interval, pending: make(map[ariesrh.ObjectID]struct{})}
+}
+
+// Update updates obj through the wrapped transaction, reporting
+// accumulated results every Interval updates.
+func (r *Reporter) Update(obj ariesrh.ObjectID, val []byte) error {
+	if err := r.tx.Update(obj, val); err != nil {
+		return err
+	}
+	r.pending[obj] = struct{}{}
+	r.count++
+	if r.count%r.Interval == 0 {
+		return r.Flush()
+	}
+	return nil
+}
+
+// Flush reports everything pending.
+func (r *Reporter) Flush() error {
+	if len(r.pending) == 0 {
+		return nil
+	}
+	objs := make([]ariesrh.ObjectID, 0, len(r.pending))
+	for obj := range r.pending {
+		objs = append(objs, obj)
+	}
+	if err := Report(r.tx, objs...); err != nil {
+		return err
+	}
+	r.pending = make(map[ariesrh.ObjectID]struct{})
+	return nil
+}
+
+// Tx returns the wrapped transaction.
+func (r *Reporter) Tx() *ariesrh.Tx { return r.tx }

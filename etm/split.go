@@ -1,0 +1,41 @@
+package etm
+
+import (
+	"fmt"
+
+	"ariesrh"
+)
+
+// Split implements the split-transaction model (§2.2.1; Pu, Kaiser &
+// Hutchinson): the splitting transaction tx delegates its operations on
+// the given objects to a freshly initiated transaction, which is
+// returned.  The two transactions can then commit or abort independently.
+//
+//	t2 = initiate(f); delegate(self(), t2, ob_set); begin(t2)
+func Split(tx *ariesrh.Tx, objs ...ariesrh.ObjectID) (*ariesrh.Tx, error) {
+	t2, err := tx.DB().Begin()
+	if err != nil {
+		return nil, err
+	}
+	for _, obj := range objs {
+		if err := tx.Delegate(t2, obj); err != nil {
+			t2.Abort()
+			return nil, fmt.Errorf("etm: split of object %d: %w", obj, err)
+		}
+	}
+	return t2, nil
+}
+
+// Join merges from into to (§2.2.1): from delegates *all* objects it is
+// responsible for to to and then terminates.  After the join, to alone
+// decides the fate of from's work.
+//
+//	wait(t2); delegate(t2, t1)
+func Join(from, to *ariesrh.Tx) error {
+	if err := from.DelegateAll(to); err != nil {
+		return err
+	}
+	// With an empty Op_List, from's commit affects nothing; it simply
+	// retires the transaction.
+	return from.Commit()
+}

@@ -1,0 +1,91 @@
+// Command splitjoin demonstrates split transactions (§2.2.1): an
+// open-ended editing session that carves finished work out into an
+// independently committing transaction, keeps editing, and finally joins a
+// helper transaction's work back in.
+//
+// Run with: go run ./examples/splitjoin
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ariesrh"
+	"ariesrh/etm"
+)
+
+func main() {
+	db, err := ariesrh.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	const (
+		chapter1 = ariesrh.ObjectID(1)
+		chapter2 = ariesrh.ObjectID(2)
+		chapter3 = ariesrh.ObjectID(3)
+		appendix = ariesrh.ObjectID(4)
+	)
+
+	// A long editing session touches several chapters.
+	session, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for obj, text := range map[ariesrh.ObjectID]string{
+		chapter1: "Chapter 1: final text",
+		chapter2: "Chapter 2: final text",
+		chapter3: "Chapter 3: rough draft",
+	} {
+		if err := session.Update(obj, []byte(text)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Chapters 1 and 2 are done: split them off and commit them now,
+	// without ending the session.
+	finished, err := etm.Split(session, chapter1, chapter2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := finished.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("chapters 1-2 split off and committed; session still editing chapter 3")
+
+	// A helper transaction drafts the appendix in parallel, then joins
+	// the session: the session takes over responsibility for it.
+	helper, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := helper.Update(appendix, []byte("Appendix: tables")); err != nil {
+		log.Fatal(err)
+	}
+	if err := etm.Join(helper, session); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("helper joined: the session now owns the appendix draft")
+
+	// The session decides chapter 3 isn't ready and abandons the rest.
+	if err := session.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("session aborted: chapter 3 and the appendix are rolled back,")
+	fmt.Println("but the split-off chapters survive:")
+
+	for name, obj := range map[string]ariesrh.ObjectID{
+		"chapter1": chapter1, "chapter2": chapter2, "chapter3": chapter3, "appendix": appendix,
+	} {
+		v, ok, err := db.ReadCommitted(obj)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok || len(v) == 0 {
+			fmt.Printf("  %s: (gone)\n", name)
+		} else {
+			fmt.Printf("  %s: %s\n", name, v)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command trip runs the paper's §2.2.2 nested-transaction example: a trip
+// consisting of an airline reservation and a hotel reservation, each a
+// subtransaction.  If the hotel reservation fails, the whole trip is
+// canceled — including the airline reservation that had already
+// "committed" at the subtransaction level, because a subtransaction commit
+// only delegates its changes to the parent.
+//
+// Run with: go run ./examples/trip [-hotel-full]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+
+	"ariesrh"
+	"ariesrh/etm"
+)
+
+const (
+	objFlight = ariesrh.ObjectID(1)
+	objHotel  = ariesrh.ObjectID(2)
+)
+
+func main() {
+	hotelFull := flag.Bool("hotel-full", false, "make the hotel reservation fail")
+	flag.Parse()
+
+	db, err := ariesrh.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	trip, err := etm.BeginNested(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// trans { airline_res(); }
+	if err := trip.Sub(func(res *etm.NestedTx) error {
+		fmt.Println("airline: reserving seat 12A on UA-0042")
+		return res.Update(objFlight, []byte("UA-0042 seat 12A"))
+	}); err != nil {
+		log.Fatalf("airline reservation failed: %v — trip canceled", err)
+	}
+
+	// trans { hotel_res(); }
+	err = trip.Sub(func(res *etm.NestedTx) error {
+		if *hotelFull {
+			return errors.New("no rooms available")
+		}
+		fmt.Println("hotel: reserving room 17")
+		return res.Update(objHotel, []byte("room 17, 2 nights"))
+	})
+	if err != nil {
+		fmt.Printf("hotel reservation failed: %v\n", err)
+		fmt.Println("canceling the trip — the airline reservation must not survive")
+		if err := trip.Abort(); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if err := trip.Commit(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("trip booked")
+	}
+
+	show(db, "flight", objFlight)
+	show(db, "hotel ", objHotel)
+}
+
+func show(db *ariesrh.DB, name string, obj ariesrh.ObjectID) {
+	v, ok, err := db.ReadCommitted(obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok || len(v) == 0 {
+		fmt.Printf("%s: (no reservation)\n", name)
+		return
+	}
+	fmt.Printf("%s: %s\n", name, v)
+}

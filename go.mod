@@ -1,0 +1,3 @@
+module ariesrh
+
+go 1.22

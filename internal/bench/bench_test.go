@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment harness is exercised at tiny sizes so its plumbing (and
+// the claims' *direction*) stays verified by `go test`.
+
+func TestE1Shape(t *testing.T) {
+	tab, err := E1NoDelegationOverhead(20, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Identical forward-pass sizes is the hard part of the claim.
+	if tab.Rows[0][3] != tab.Rows[1][3] {
+		t.Fatalf("forward records differ: %v vs %v", tab.Rows[0], tab.Rows[1])
+	}
+}
+
+func TestE2Linear(t *testing.T) {
+	tab, err := E2DelegationLinearity([]int{1, 64}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Log appends must equal the object count — one record per
+	// delegated object, never more.
+	for i, n := range []string{"1", "64"} {
+		if tab.Rows[i][3] != n {
+			t.Fatalf("row %d appends = %s, want %s", i, tab.Rows[i][3], n)
+		}
+	}
+}
+
+func TestE3ZeroRewritesForRH(t *testing.T) {
+	tab, err := E3RecoveryVsDelegationRate(400, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRH, sawLazyRewrites bool
+	for _, row := range tab.Rows {
+		if row[1] == "ARIES/RH" {
+			sawRH = true
+			if row[5] != "0" || row[6] != "0" {
+				t.Fatalf("ARIES/RH rewrote: %v", row)
+			}
+		}
+		if row[1] == "lazy" && row[5] != "0" {
+			sawLazyRewrites = true
+		}
+	}
+	if !sawRH || !sawLazyRewrites {
+		t.Fatalf("rows missing: rh=%v lazyRewrites=%v", sawRH, sawLazyRewrites)
+	}
+}
+
+func TestE4SweepGrowth(t *testing.T) {
+	tab, err := E4EagerSweepVsLogLength([]int{200, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eagerReads []int
+	for _, row := range tab.Rows {
+		if row[1] == "eager" {
+			n, err := strconv.Atoi(row[2])
+			if err != nil {
+				t.Fatal(err)
+			}
+			eagerReads = append(eagerReads, n)
+		}
+		if row[1] == "ARIES/RH" && row[2] != "0" {
+			t.Fatalf("RH read the log during delegation: %v", row)
+		}
+	}
+	if len(eagerReads) != 2 || eagerReads[1] < eagerReads[0]*5 {
+		t.Fatalf("eager reads did not grow with the log: %v", eagerReads)
+	}
+}
+
+func TestE5RunsAndAgrees(t *testing.T) {
+	tab, err := E5EOS(20, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both rows report the same number of redone changes: the engines
+	// agree on the committed state.
+	if tab.Rows[0][5] != tab.Rows[1][5] {
+		t.Fatalf("redo counts differ: %v vs %v", tab.Rows[0], tab.Rows[1])
+	}
+}
+
+func TestE6AllModelsRun(t *testing.T) {
+	tab, err := E6ETMMacro(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Delegation counts prove the models run on the delegation API.
+	// (Open nested is the exception: its children commit directly and
+	// coupling is semantic, so its delegation count may be zero.)
+	if tab.Rows[0][3] != "0" {
+		t.Fatalf("flat baseline delegated: %v", tab.Rows[0])
+	}
+	for _, row := range tab.Rows[1:4] {
+		if row[3] == "0" {
+			t.Fatalf("ETM row without delegations: %v", row)
+		}
+	}
+}
+
+func TestA1FullScanVisitsMore(t *testing.T) {
+	tab, err := A1ClusterSweepAblation(600, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	cluster, _ := strconv.Atoi(tab.Rows[0][3])
+	full, _ := strconv.Atoi(tab.Rows[1][3])
+	if full <= cluster {
+		t.Fatalf("full scan visited %d ≤ cluster %d", full, cluster)
+	}
+	if tab.Rows[0][4] != tab.Rows[1][4] {
+		t.Fatalf("CLR counts differ: %v vs %v", tab.Rows[0], tab.Rows[1])
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Title: "title", Claim: "claim",
+		Headers: []string{"a", "bb"},
+		Rows:    [][]string{{"1", "2"}},
+		Verdict: "fine",
+	}
+	out := tab.Format()
+	for _, want := range []string{"EX — title", "claim: claim", "a", "bb", "verdict: fine"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}

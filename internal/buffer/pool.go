@@ -1,0 +1,217 @@
+// Package buffer implements the buffer pool between the recovery engines
+// and the disk manager.  It follows the STEAL / NO-FORCE policy assumed by
+// ARIES: dirty pages of uncommitted transactions may be written back
+// (steal), and commit does not force data pages — only the log is forced.
+// The write-ahead rule is enforced here: before a dirty page is evicted,
+// the log is flushed through the page's pageLSN.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"ariesrh/internal/storage"
+	"ariesrh/internal/wal"
+)
+
+// ErrPoolExhausted is returned when every frame is pinned and a new page
+// must be brought in.
+var ErrPoolExhausted = errors.New("buffer: all frames pinned")
+
+// PoolStats counts buffer activity for the benchmark harness.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Flushes   uint64
+}
+
+// Sub returns the element-wise difference s - o.
+func (s PoolStats) Sub(o PoolStats) PoolStats {
+	return PoolStats{
+		Hits:      s.Hits - o.Hits,
+		Misses:    s.Misses - o.Misses,
+		Evictions: s.Evictions - o.Evictions,
+		Flushes:   s.Flushes - o.Flushes,
+	}
+}
+
+type frame struct {
+	pid   storage.PageID
+	page  *storage.Page
+	pins  int
+	dirty bool
+	elem  *list.Element // position in the LRU list when unpinned
+}
+
+// Pool is an LRU buffer pool.  It is safe for concurrent use.
+//
+// Pool contents are volatile: Crash discards every frame, including dirty
+// ones, simulating the loss of main memory at failure time.
+type Pool struct {
+	mu       sync.Mutex
+	disk     storage.DiskManager
+	capacity int
+	flushLog func(wal.LSN) error
+
+	frames map[storage.PageID]*frame
+	lru    *list.List // of *frame, least recently used at the front
+	dirty  map[storage.PageID]wal.LSN
+	stats  PoolStats
+}
+
+// NewPool creates a pool of the given capacity over disk.  flushLog is
+// invoked with a pageLSN before any dirty page reaches disk (the WAL rule);
+// pass a function that flushes the log through that LSN.
+func NewPool(disk storage.DiskManager, capacity int, flushLog func(wal.LSN) error) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if flushLog == nil {
+		flushLog = func(wal.LSN) error { return nil }
+	}
+	return &Pool{
+		disk:     disk,
+		capacity: capacity,
+		flushLog: flushLog,
+		frames:   make(map[storage.PageID]*frame),
+		lru:      list.New(),
+		dirty:    make(map[storage.PageID]wal.LSN),
+	}
+}
+
+// Fetch pins page pid and returns its in-pool image.  The caller must hold
+// whatever latch serializes page access (the engines serialize via their
+// own mutex) and must Unpin the page when done.
+func (p *Pool) Fetch(pid storage.PageID) (*storage.Page, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[pid]; ok {
+		p.stats.Hits++
+		if f.elem != nil {
+			p.lru.Remove(f.elem)
+			f.elem = nil
+		}
+		f.pins++
+		return f.page, nil
+	}
+	p.stats.Misses++
+	if err := p.evictForSpaceLocked(); err != nil {
+		return nil, err
+	}
+	page, err := p.disk.ReadPage(pid)
+	if err != nil {
+		return nil, err
+	}
+	f := &frame{pid: pid, page: page, pins: 1}
+	p.frames[pid] = f
+	return page, nil
+}
+
+// evictForSpaceLocked makes room for one more frame, flushing a dirty
+// victim under the WAL rule if needed.
+func (p *Pool) evictForSpaceLocked() error {
+	if len(p.frames) < p.capacity {
+		return nil
+	}
+	e := p.lru.Front()
+	if e == nil {
+		return fmt.Errorf("%w: capacity %d", ErrPoolExhausted, p.capacity)
+	}
+	victim := e.Value.(*frame)
+	if victim.dirty {
+		if err := p.flushFrameLocked(victim); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(e)
+	delete(p.frames, victim.pid)
+	p.stats.Evictions++
+	return nil
+}
+
+// flushFrameLocked writes one dirty frame to disk, honoring the WAL rule.
+func (p *Pool) flushFrameLocked(f *frame) error {
+	if err := p.flushLog(f.page.LSN); err != nil {
+		return fmt.Errorf("buffer: WAL flush before evicting page %d: %w", f.pid, err)
+	}
+	if err := p.disk.WritePage(f.pid, f.page); err != nil {
+		return err
+	}
+	f.dirty = false
+	delete(p.dirty, f.pid)
+	p.stats.Flushes++
+	return nil
+}
+
+// Unpin releases one pin on pid.  If dirty is true the page is marked
+// dirty; recLSN is recorded in the dirty-page table the first time the page
+// becomes dirty (the LSN of the earliest record that may need redoing).
+func (p *Pool) Unpin(pid storage.PageID, dirty bool, recLSN wal.LSN) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[pid]
+	if !ok {
+		return fmt.Errorf("buffer: unpin of unfetched page %d", pid)
+	}
+	if f.pins <= 0 {
+		return fmt.Errorf("buffer: unpin of unpinned page %d", pid)
+	}
+	if dirty {
+		f.dirty = true
+		if _, ok := p.dirty[pid]; !ok {
+			p.dirty[pid] = recLSN
+		}
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.elem = p.lru.PushBack(f)
+	}
+	return nil
+}
+
+// FlushAll writes every dirty frame to disk (used by clean shutdown and by
+// checkpoint variants that flush; fuzzy checkpoints do not call it).
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.flushFrameLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DirtyPageTable returns a copy of the dirty-page table (pid → recLSN),
+// as logged by fuzzy checkpoints.
+func (p *Pool) DirtyPageTable() map[storage.PageID]wal.LSN {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[storage.PageID]wal.LSN, len(p.dirty))
+	for pid, lsn := range p.dirty {
+		out[pid] = lsn
+	}
+	return out
+}
+
+// Crash discards every frame — dirty or not — without flushing, simulating
+// the loss of volatile memory.
+func (p *Pool) Crash() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames = make(map[storage.PageID]*frame)
+	p.lru = list.New()
+	p.dirty = make(map[storage.PageID]wal.LSN)
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}

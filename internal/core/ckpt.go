@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ariesrh/internal/delegation"
+	"ariesrh/internal/storage"
+	"ariesrh/internal/txn"
+	"ariesrh/internal/wal"
+)
+
+// checkpointData is the state serialized into a checkpoint-end record:
+// everything recovery needs to resume analysis at the checkpoint rather
+// than the start of the log — the transaction table, the full delegation
+// state (object lists with scopes), and the dirty-page table whose minimum
+// recLSN bounds where redo must start.
+type checkpointData struct {
+	beginLSN wal.LSN
+	txns     []txn.Info
+	state    delegation.State
+	dpt      map[storage.PageID]wal.LSN
+}
+
+func encodeCheckpoint(d *checkpointData) []byte {
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d.beginLSN))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.txns)))
+	for _, info := range d.txns {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(info.ID))
+		buf = append(buf, byte(info.Status))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(info.LastLSN))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(info.UndoNextLSN))
+	}
+	st := delegation.EncodeState(d.state)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(st)))
+	buf = append(buf, st...)
+	pids := make([]storage.PageID, 0, len(d.dpt))
+	for pid := range d.dpt {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pids)))
+	for _, pid := range pids {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(pid))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.dpt[pid]))
+	}
+	return buf
+}
+
+func decodeCheckpoint(buf []byte) (*checkpointData, error) {
+	fail := func() (*checkpointData, error) {
+		return nil, fmt.Errorf("core: truncated checkpoint payload")
+	}
+	off := 0
+	need := func(n int) bool { return off+n <= len(buf) }
+	if !need(8 + 4) {
+		return fail()
+	}
+	d := &checkpointData{
+		state: delegation.State{},
+		dpt:   map[storage.PageID]wal.LSN{},
+	}
+	d.beginLSN = wal.LSN(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	nTx := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	for i := 0; i < nTx; i++ {
+		if !need(4 + 1 + 8 + 8) {
+			return fail()
+		}
+		info := txn.Info{
+			ID:          wal.TxID(binary.LittleEndian.Uint32(buf[off:])),
+			Status:      txn.Status(buf[off+4]),
+			LastLSN:     wal.LSN(binary.LittleEndian.Uint64(buf[off+5:])),
+			UndoNextLSN: wal.LSN(binary.LittleEndian.Uint64(buf[off+13:])),
+		}
+		off += 21
+		d.txns = append(d.txns, info)
+	}
+	if !need(4) {
+		return fail()
+	}
+	stLen := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if !need(stLen) {
+		return fail()
+	}
+	st, err := delegation.DecodeState(buf[off : off+stLen])
+	if err != nil {
+		return nil, err
+	}
+	d.state = st
+	off += stLen
+	if !need(4) {
+		return fail()
+	}
+	nDpt := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	for i := 0; i < nDpt; i++ {
+		if !need(4 + 8) {
+			return fail()
+		}
+		pid := storage.PageID(binary.LittleEndian.Uint32(buf[off:]))
+		d.dpt[pid] = wal.LSN(binary.LittleEndian.Uint64(buf[off+4:]))
+		off += 12
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("core: %d trailing bytes in checkpoint payload", len(buf)-off)
+	}
+	return d, nil
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAbortDependencyCascades(t *testing.T) {
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	t3 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "a")
+	mustUpdate(t, e, t2, 2, "b")
+	mustUpdate(t, e, t3, 3, "c")
+	// t2 depends on t1, t3 depends on t2: aborting t1 takes all three.
+	if err := e.FormDependency(t2, t1, AbortDependency); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FormDependency(t3, t2, AbortDependency); err != nil {
+		t.Fatal(err)
+	}
+	mustAbort(t, e, t1)
+	wantValue(t, e, 1, "")
+	wantValue(t, e, 2, "")
+	wantValue(t, e, 3, "")
+	// All three are gone.
+	if err := e.Commit(t2); !errors.Is(err, ErrNoSuchTxn) {
+		t.Fatalf("t2 commit err = %v", err)
+	}
+	if err := e.Commit(t3); !errors.Is(err, ErrNoSuchTxn) {
+		t.Fatalf("t3 commit err = %v", err)
+	}
+}
+
+func TestAbortDependencyOneWay(t *testing.T) {
+	// Aborting the DEPENDENT does not touch the depended-on transaction.
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "survives")
+	mustUpdate(t, e, t2, 2, "dies")
+	if err := e.FormDependency(t2, t1, AbortDependency); err != nil {
+		t.Fatal(err)
+	}
+	mustAbort(t, e, t2)
+	mustCommit(t, e, t1)
+	wantValue(t, e, 1, "survives")
+	wantValue(t, e, 2, "")
+}
+
+func TestCommitDependencyOrdersCommits(t *testing.T) {
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	mustUpdate(t, e, t2, 2, "v")
+	if err := e.FormDependency(t2, t1, CommitDependency); err != nil {
+		t.Fatal(err)
+	}
+	// t2 cannot commit while t1 is active...
+	if err := e.Commit(t2); !errors.Is(err, ErrDependencyPending) {
+		t.Fatalf("err = %v, want ErrDependencyPending", err)
+	}
+	// ...but may after t1 terminates (either way; here: abort).
+	mustAbort(t, e, t1)
+	mustCommit(t, e, t2)
+	wantValue(t, e, 2, "v")
+}
+
+func TestDependencyCycleRejected(t *testing.T) {
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	t3 := mustBegin(t, e)
+	if err := e.FormDependency(t2, t1, AbortDependency); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FormDependency(t3, t2, CommitDependency); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.FormDependency(t1, t3, AbortDependency); !errors.Is(err, ErrDependencyCycle) {
+		t.Fatalf("err = %v, want ErrDependencyCycle", err)
+	}
+	// Direct mutual edge is also a cycle.
+	if err := e.FormDependency(t1, t2, CommitDependency); !errors.Is(err, ErrDependencyCycle) {
+		t.Fatalf("mutual err = %v", err)
+	}
+	// Self-dependency rejected.
+	if err := e.FormDependency(t1, t1, AbortDependency); err == nil {
+		t.Fatal("self-dependency accepted")
+	}
+}
+
+func TestDependencyWithDelegation(t *testing.T) {
+	// A cascaded abort respects delegation: work the victim delegated
+	// away survives its cascaded death.
+	e := newEngine(t)
+	anchor := mustBegin(t, e)
+	victim := mustBegin(t, e)
+	keeper := mustBegin(t, e)
+	mustUpdate(t, e, victim, 1, "delegated-out")
+	mustUpdate(t, e, victim, 2, "own")
+	mustDelegate(t, e, victim, keeper, 1)
+	if err := e.FormDependency(victim, anchor, AbortDependency); err != nil {
+		t.Fatal(err)
+	}
+	mustAbort(t, e, anchor) // cascades to victim
+	wantValue(t, e, 1, "delegated-out")
+	wantValue(t, e, 2, "")
+	mustCommit(t, e, keeper)
+	wantValue(t, e, 1, "delegated-out")
+}
+
+func TestDependencyClearedOnCommit(t *testing.T) {
+	// Once the depended-on transaction commits, its dependents are free.
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	mustUpdate(t, e, t2, 2, "v")
+	if err := e.FormDependency(t2, t1, CommitDependency); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, e, t1)
+	mustCommit(t, e, t2)
+	wantValue(t, e, 2, "v")
+	// And an abort dependency on a committed transaction never fires.
+	t3 := mustBegin(t, e)
+	t4 := mustBegin(t, e)
+	mustUpdate(t, e, t4, 4, "w")
+	if err := e.FormDependency(t4, t3, AbortDependency); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, e, t3)
+	mustCommit(t, e, t4)
+	wantValue(t, e, 4, "w")
+}

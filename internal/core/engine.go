@@ -1,0 +1,361 @@
+// Package core implements ARIES/RH, the paper's extension of ARIES with
+// delegation support ("Delegation: Efficiently Rewriting History",
+// Pedregal Martin & Ramamritham, ICDE 1997).
+//
+// The engine provides the usual transactional operations — Begin, Read,
+// Update, Commit, Abort — plus Delegate(tor, tee, ob), which transfers
+// responsibility for tor's updates to ob over to tee.  Delegation is
+// "rewriting history": after delegate(t1, t2, ob), recovery must behave as
+// if every update[t1, ob] record had been written by t2.  ARIES/RH obtains
+// that behaviour without ever modifying the log: it tracks responsibility
+// in volatile scopes (internal/delegation), logs a delegate record so the
+// scopes are reconstructible, and during recovery *interprets* the log
+// according to the delegations (§3.2).
+//
+// Normal processing follows §3.5, recovery follows §3.6: a single forward
+// analysis+redo pass that replays delegate records into the object lists,
+// then a backward pass that undoes exactly the loser updates by sweeping
+// clusters of overlapping loser scopes in strictly decreasing LSN order.
+//
+// Crashes are simulated: Crash discards all volatile state (buffer pool,
+// lock table, transaction table, object lists, unflushed log tail) and
+// Recover rebuilds from stable storage.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ariesrh/internal/buffer"
+	"ariesrh/internal/delegation"
+	"ariesrh/internal/lock"
+	"ariesrh/internal/object"
+	"ariesrh/internal/storage"
+	"ariesrh/internal/txn"
+	"ariesrh/internal/wal"
+)
+
+// Errors returned by engine operations.
+var (
+	// ErrNoSuchTxn is returned for operations naming an unknown or
+	// terminated transaction.
+	ErrNoSuchTxn = errors.New("core: no such transaction")
+	// ErrNotResponsible is returned when a delegation's precondition
+	// fails: the delegator is not responsible for any update on the
+	// object (§2.1.2).
+	ErrNotResponsible = errors.New("core: delegator not responsible for object")
+	// ErrCrashed is returned for operations attempted between Crash and
+	// Recover.
+	ErrCrashed = errors.New("core: engine crashed; run Recover")
+)
+
+// Options configures an Engine.
+type Options struct {
+	// PoolSize is the buffer-pool capacity in pages (default 128).
+	PoolSize int
+	// LogStore, Disk and MasterStore override the default in-memory
+	// stable storage (used for file-backed operation).
+	LogStore    wal.Store
+	Disk        storage.DiskManager
+	MasterStore wal.Store
+	// DisableChaining skips delegate-record backward-chain maintenance;
+	// used only by ablation benchmarks.
+	DisableChaining bool
+	// FullScanUndo replaces the cluster sweep of the recovery backward
+	// pass with the naïve alternative §3.6.2 rejects: scan every log
+	// record backwards, testing each against the loser scopes.  Results
+	// are identical; only the visit counts differ.  Ablation benchmarks
+	// only.
+	FullScanUndo bool
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Begins      uint64
+	Updates     uint64
+	Reads       uint64
+	Delegations uint64
+	Commits     uint64
+	Aborts      uint64
+	CLRs        uint64
+	Checkpoints uint64
+
+	// Recovery counters (cumulative over all Recover calls).
+	RecForwardRecords  uint64
+	RecRedone          uint64
+	RecUndone          uint64
+	RecBackwardVisited uint64
+	RecBackwardSkipped uint64
+	RecCLRs            uint64
+	RecLosers          uint64
+	RecWinners         uint64
+}
+
+// Engine is the ARIES/RH transaction manager.  It is safe for concurrent
+// use: object locks are taken before the engine latch, so lock waits never
+// block unrelated transactions' progress.
+type Engine struct {
+	mu    sync.Mutex
+	log   *wal.Log
+	disk  storage.DiskManager
+	pool  *buffer.Pool
+	store *object.Store
+	locks *lock.Manager
+	txns  *txn.Table
+
+	// state holds each live transaction's object list (Ob_List, §3.4).
+	state delegation.State
+	// deps holds the ASSET form-dependency graph (volatile).
+	deps map[wal.TxID][]depEdge
+
+	master  *masterRecord
+	crashed bool
+	stats   Stats
+	opts    Options
+
+	// recoveryFailpoint, when positive, makes the NEXT Recover fail
+	// after that many backward-pass CLRs — fault injection for
+	// crash-during-recovery testing.  One-shot; cleared when it fires.
+	recoveryFailpoint int
+}
+
+// New creates an engine over fresh or existing stable storage.
+func New(opts Options) (*Engine, error) {
+	if opts.PoolSize <= 0 {
+		opts.PoolSize = 128
+	}
+	if opts.LogStore == nil {
+		opts.LogStore = wal.NewMemStore()
+	}
+	if opts.Disk == nil {
+		opts.Disk = storage.NewMemDisk()
+	}
+	if opts.MasterStore == nil {
+		opts.MasterStore = wal.NewMemStore()
+	}
+	log, err := wal.NewLog(opts.LogStore)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		log:    log,
+		disk:   opts.Disk,
+		locks:  lock.NewManager(),
+		txns:   txn.NewTable(),
+		state:  delegation.State{},
+		deps:   make(map[wal.TxID][]depEdge),
+		master: &masterRecord{store: opts.MasterStore},
+		opts:   opts,
+	}
+	e.pool = buffer.NewPool(opts.Disk, opts.PoolSize, func(lsn wal.LSN) error { return e.log.Flush(lsn) })
+	e.store, err = object.Open(e.pool, opts.Disk)
+	if err != nil {
+		return nil, err
+	}
+	if log.Head() > log.FlushedLSN() {
+		// Cannot happen on a fresh open; defensive.
+		return nil, fmt.Errorf("core: log has unflushed tail at open")
+	}
+	if log.Head() > 0 {
+		// Existing stable state: recover before accepting work.
+		e.crashed = true
+		if err := e.Recover(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Log exposes the write-ahead log for inspection by tests, the demo tools
+// and the benchmark harness.  Callers must not mutate it.
+func (e *Engine) Log() *wal.Log { return e.log }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// LogStats returns the log access counters.
+func (e *Engine) LogStats() wal.AccessStats { return e.log.Stats() }
+
+// ReadObject returns the current stable/buffered value of obj without any
+// locking — for tests, tools and the history checker, not for transactions.
+func (e *Engine) ReadObject(obj wal.ObjectID) ([]byte, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return nil, false, ErrCrashed
+	}
+	return e.store.Read(obj)
+}
+
+// ResponsibleFor returns the transaction currently responsible for the
+// update logged at lsn (NilTx if none — e.g. the record is not an update
+// or its responsible transaction has terminated).  This is the paper's
+// ResponsibleTr function (§2.1.1), computed from the scopes, and is what
+// "interpreting the log" means: the Figure 2 rewrite is visible through
+// this lens while the log itself stays untouched.
+func (e *Engine) ResponsibleFor(lsn wal.LSN) (wal.TxID, error) {
+	rec, err := e.log.Get(lsn)
+	if err != nil {
+		return wal.NilTx, err
+	}
+	if !rec.IsUndoable() {
+		return wal.NilTx, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for owner, ol := range e.state {
+		entry := ol.Entry(rec.Object)
+		if entry == nil {
+			continue
+		}
+		for _, s := range entry.Scopes() {
+			if s.Invoker == rec.TxID && s.Contains(lsn) {
+				return owner, nil
+			}
+		}
+	}
+	return wal.NilTx, nil
+}
+
+// OpList returns the LSNs of the updates tx is currently responsible for —
+// the paper's Op_List(t) (§2.1.1), computed from scopes by interpreting
+// the log.  Sorted ascending.
+func (e *Engine) OpList(tx wal.TxID) ([]wal.LSN, error) {
+	e.mu.Lock()
+	ol, ok := e.state[tx]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchTxn, tx)
+	}
+	scopes := ol.AllScopes()
+	e.mu.Unlock()
+
+	var out []wal.LSN
+	for _, s := range scopes {
+		for k := s.First; k <= s.Last; k++ {
+			rec, err := e.log.Get(k)
+			if err != nil {
+				return nil, err
+			}
+			if rec.Type == wal.TypeUpdate && rec.TxID == s.Invoker && rec.Object == s.Object {
+				out = append(out, k)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// SetRecoveryFailpoint arms a one-shot fault: the next Recover returns
+// ErrInjectedRecoveryFailure after writing n compensation log records in
+// its backward pass, leaving the system exactly as a crash during recovery
+// would.  Testing hook; n <= 0 disarms.
+func (e *Engine) SetRecoveryFailpoint(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.recoveryFailpoint = n
+}
+
+// Quiesce flushes the whole log and then runs fn while holding the engine
+// latch, so no operation can mutate stable state during fn.  Used for
+// online backup: fn copies the stable stores and gets a crash-consistent
+// snapshot (restoring it runs normal recovery).
+func (e *Engine) Quiesce(fn func() error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if err := e.log.Flush(e.log.Head()); err != nil {
+		return err
+	}
+	return fn()
+}
+
+// Crash simulates a failure: the unflushed log tail, buffer pool, lock
+// table, transaction table and all object lists are lost.  Stable storage
+// (flushed log, written pages, master record) survives.  The engine
+// rejects new work until Recover is called.
+func (e *Engine) Crash() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.log.Crash(); err != nil {
+		return err
+	}
+	if err := e.store.Crash(); err != nil {
+		return err
+	}
+	e.locks.Reset()
+	e.txns.Reset(1)
+	e.state = delegation.State{}
+	e.deps = make(map[wal.TxID][]depEdge)
+	e.crashed = true
+	return nil
+}
+
+// Close flushes everything for a clean shutdown and releases the stable
+// stores (log, master record and disk), including any file handles behind
+// them.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if err := e.log.Flush(e.log.Head()); err != nil {
+		return err
+	}
+	if err := e.store.FlushAll(); err != nil {
+		return err
+	}
+	err := e.disk.Close()
+	if cerr := e.opts.LogStore.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := e.opts.MasterStore.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// masterRecord persists the LSN of the last complete checkpoint outside
+// the log (the ARIES "master record").
+type masterRecord struct {
+	store wal.Store
+}
+
+func (m *masterRecord) Set(lsn wal.LSN) error {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(lsn >> (8 * i))
+	}
+	if _, err := m.store.WriteAt(buf[:], 0); err != nil {
+		return err
+	}
+	return m.store.Sync()
+}
+
+func (m *masterRecord) Get() (wal.LSN, error) {
+	size, err := m.store.Size()
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	if size < 8 {
+		return wal.NilLSN, nil
+	}
+	var buf [8]byte
+	if _, err := m.store.ReadAt(buf[:], 0); err != nil {
+		return wal.NilLSN, err
+	}
+	var lsn wal.LSN
+	for i := 0; i < 8; i++ {
+		lsn |= wal.LSN(buf[i]) << (8 * i)
+	}
+	return lsn, nil
+}

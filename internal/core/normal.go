@@ -1,0 +1,463 @@
+package core
+
+import (
+	"fmt"
+
+	"ariesrh/internal/delegation"
+	"ariesrh/internal/lock"
+	"ariesrh/internal/txn"
+	"ariesrh/internal/wal"
+)
+
+// Begin starts a new transaction and returns its ID (§3.5 begin: add to
+// Tr_List, create Ob_List).
+func (e *Engine) Begin() (wal.TxID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return wal.NilTx, ErrCrashed
+	}
+	info := e.txns.Begin()
+	lsn, err := e.log.Append(&wal.Record{Type: wal.TypeBegin, TxID: info.ID})
+	if err != nil {
+		return wal.NilTx, err
+	}
+	info.LastLSN = lsn
+	e.state[info.ID] = delegation.NewObList()
+	e.stats.Begins++
+	return info.ID, nil
+}
+
+// activeInfo returns the table entry for tx if it is active.
+func (e *Engine) activeInfo(tx wal.TxID) (*txn.Info, error) {
+	info := e.txns.Get(tx)
+	if info == nil || info.Status != txn.Active {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchTxn, tx)
+	}
+	return info, nil
+}
+
+// Read returns the value of obj under a shared lock held by tx.  Absent
+// objects read as an empty value (objects are registers; see
+// internal/object).
+func (e *Engine) Read(tx wal.TxID, obj wal.ObjectID) ([]byte, error) {
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	if _, err := e.activeInfo(tx); err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	e.mu.Unlock()
+
+	// Block on the lock without holding the engine latch.
+	if err := e.locks.Acquire(tx, obj, lock.Shared); err != nil {
+		return nil, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return nil, ErrCrashed
+	}
+	if _, err := e.activeInfo(tx); err != nil {
+		e.locks.ReleaseAll(tx) // see Update: stale grant for a dead tx
+		return nil, err
+	}
+	v, _, err := e.store.Read(obj)
+	if err != nil {
+		return nil, err
+	}
+	e.stats.Reads++
+	return v, nil
+}
+
+// Update performs update[tx, obj] ← val (§3.5 update): it X-locks the
+// object, logs the physical before/after images, adjusts tx's scope on the
+// object (open a new scope on the first update since begin or since tx
+// last delegated obj; extend the active scope otherwise), and applies the
+// change in place.
+func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		return ErrCrashed
+	}
+	if _, err := e.activeInfo(tx); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	e.mu.Unlock()
+
+	if err := e.locks.Acquire(tx, obj, lock.Exclusive); err != nil {
+		return err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	info, err := e.activeInfo(tx)
+	if err != nil {
+		// tx terminated (e.g. a cascading abort) between the lock
+		// grant and this latch: the grant re-registered a hold for a
+		// dead transaction; drop it or the object stays blocked.
+		e.locks.ReleaseAll(tx)
+		return err
+	}
+	before, _, err := e.store.Read(obj)
+	if err != nil {
+		return err
+	}
+	rec := &wal.Record{
+		Type:    wal.TypeUpdate,
+		TxID:    tx,
+		PrevLSN: info.LastLSN,
+		Object:  obj,
+		Before:  before,
+		After:   val,
+	}
+	lsn, err := e.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	e.state[tx].RecordUpdate(tx, obj, lsn)
+	if err := e.store.Write(obj, val, lsn); err != nil {
+		return err
+	}
+	info.LastLSN = lsn
+	e.stats.Updates++
+	return nil
+}
+
+// Delegate executes delegate(tor, tee, obj) (§3.5): after checking the
+// precondition (tor is responsible for updates on obj), it writes a
+// delegate log record linked into both backward chains and transfers the
+// object's scopes from tor's Ob_List to tee's.  The delegatee also
+// inherits tor's lock on the object, broadening its visibility.
+func (e *Engine) Delegate(tor, tee wal.TxID, obj wal.ObjectID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if tor == tee {
+		return fmt.Errorf("core: delegate(t%d, t%d): delegator and delegatee must differ", tor, tee)
+	}
+	torInfo, err := e.activeInfo(tor)
+	if err != nil {
+		return err
+	}
+	teeInfo, err := e.activeInfo(tee)
+	if err != nil {
+		return err
+	}
+	// WELL-FORMED?  (§3.5 step 1)
+	if !e.state[tor].Has(obj) {
+		return fmt.Errorf("%w: t%d does not hold updates on object %d", ErrNotResponsible, tor, obj)
+	}
+	// PREPARE + WRITE DELEGATION LOG RECORD (§3.5 steps 2 and 4).
+	rec := &wal.Record{
+		Type:    wal.TypeDelegate,
+		TxID:    tor,
+		PrevLSN: torInfo.LastLSN,
+		Tor:     tor,
+		Tee:     tee,
+		TorPrev: torInfo.LastLSN,
+		TeePrev: teeInfo.LastLSN,
+		Object:  obj,
+	}
+	lsn, err := e.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	// TRANSFER RESPONSIBILITY (§3.5 step 3).
+	e.state[tor].DelegateTo(e.state[tee], tor, obj)
+	// The delegatee inherits a hold on the delegator's lock so the
+	// delegated updates stay protected by their (new) responsible
+	// transaction; the delegator keeps its own hold and may continue to
+	// operate on the object (§2.1.2).  Third parties remain excluded
+	// until every holder terminates.
+	if _, held := e.locks.Holds(tor, obj); held {
+		if err := e.locks.Share(tor, tee, obj); err != nil {
+			return err
+		}
+	}
+	// The delegate record heads both backward chains.
+	if !e.opts.DisableChaining {
+		torInfo.LastLSN = lsn
+		teeInfo.LastLSN = lsn
+	}
+	e.stats.Delegations++
+	return nil
+}
+
+// DelegateAll delegates every object in tor's Ob_List to tee — the
+// "delegate(t2, t1)" form used by join and nested-transaction commit
+// (§2.2).  The delegations are applied atomically with respect to other
+// engine operations.
+func (e *Engine) DelegateAll(tor, tee wal.TxID) error {
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		return ErrCrashed
+	}
+	ol, ok := e.state[tor]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrNoSuchTxn, tor)
+	}
+	objs := ol.Objects()
+	e.mu.Unlock()
+	for _, obj := range objs {
+		if err := e.Delegate(tor, tee, obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Permit grants grantee access to holder's lock on obj without
+// transferring responsibility — ASSET's permit primitive: data sharing
+// without forming dependencies.  Nothing is logged; permits are pure
+// visibility and play no role in recovery.
+func (e *Engine) Permit(holder, grantee wal.TxID, obj wal.ObjectID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if _, err := e.activeInfo(holder); err != nil {
+		return err
+	}
+	if _, err := e.activeInfo(grantee); err != nil {
+		return err
+	}
+	if _, held := e.locks.Holds(holder, obj); !held {
+		return fmt.Errorf("core: permit of object %d from t%d which holds no lock", obj, holder)
+	}
+	return e.locks.Share(holder, grantee, obj)
+}
+
+// ObjectsOf returns the objects tx is currently responsible for (its
+// Ob_List), sorted.
+func (e *Engine) ObjectsOf(tx wal.TxID) ([]wal.ObjectID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ol, ok := e.state[tx]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchTxn, tx)
+	}
+	return ol.Objects(), nil
+}
+
+// Commit commits tx (§3.5): the operations tx is responsible for are
+// already on the log; a commit record is appended and the log is flushed
+// through it before the commit is acknowledged.
+func (e *Engine) Commit(tx wal.TxID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	info, err := e.activeInfo(tx)
+	if err != nil {
+		return err
+	}
+	if err := e.checkCommitDependenciesLocked(tx); err != nil {
+		return err
+	}
+	lsn, err := e.log.Append(&wal.Record{Type: wal.TypeCommit, TxID: tx, PrevLSN: info.LastLSN})
+	if err != nil {
+		return err
+	}
+	if err := e.log.Flush(lsn); err != nil {
+		return err
+	}
+	info.Status = txn.Committed
+	info.LastLSN = lsn
+	endLSN, err := e.log.Append(&wal.Record{Type: wal.TypeEnd, TxID: tx, PrevLSN: lsn})
+	if err != nil {
+		return err
+	}
+	info.LastLSN = endLSN
+	e.locks.ReleaseAll(tx)
+	delete(e.state, tx)
+	delete(e.deps, tx)
+	e.txns.Remove(tx)
+	e.stats.Commits++
+	return nil
+}
+
+// Abort rolls back tx (§3.5): every update tx is responsible for — whether
+// invoked by tx or received through delegation — is undone in reverse LSN
+// order using the scope machinery, writing a compensation log record per
+// undo.  Updates tx delegated away are NOT undone: they now belong to
+// their delegatee.
+func (e *Engine) Abort(tx wal.TxID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.abortLocked(tx)
+}
+
+func (e *Engine) abortLocked(tx wal.TxID) error {
+	if e.crashed {
+		return ErrCrashed
+	}
+	info, err := e.activeInfo(tx)
+	if err != nil {
+		return err
+	}
+	// ABORT OPERATIONS: undo everything covered by tx's scopes, sweeping
+	// backwards from the largest covered LSN to minLSN (§3.5).
+	if err := e.undoScopes(e.state[tx].OwnedScopes(tx), nil); err != nil {
+		return err
+	}
+	// WRITE ABORT RECORD + FLUSH LOG.
+	info = e.txns.Get(tx) // lastLSN advanced by the CLRs
+	lsn, err := e.log.Append(&wal.Record{Type: wal.TypeAbort, TxID: tx, PrevLSN: info.LastLSN})
+	if err != nil {
+		return err
+	}
+	if err := e.log.Flush(lsn); err != nil {
+		return err
+	}
+	info.Status = txn.Aborted
+	info.LastLSN = lsn
+	endLSN, err := e.log.Append(&wal.Record{Type: wal.TypeEnd, TxID: tx, PrevLSN: lsn})
+	if err != nil {
+		return err
+	}
+	info.LastLSN = endLSN
+	e.locks.ReleaseAll(tx)
+	delete(e.state, tx)
+	delete(e.deps, tx)
+	e.txns.Remove(tx)
+	e.stats.Aborts++
+	// Cascade: abort-dependents of tx must abort too.
+	return e.cascadeAbortsLocked(tx)
+}
+
+// undoScopes sweeps the given scopes with the cluster planner, undoing
+// every covered update and writing CLRs.  compensated (may be nil) lists
+// update LSNs already undone by earlier CLRs; they are skipped.  Used both
+// by normal-processing aborts (scopes of one transaction) and by the
+// recovery backward pass (all loser scopes).
+func (e *Engine) undoScopes(scopes []delegation.Scope, compensated map[wal.LSN]bool) error {
+	planner := delegation.NewPlanner(scopes)
+	for {
+		k, ok := planner.Next()
+		if !ok {
+			break
+		}
+		e.stats.RecBackwardVisited++
+		rec, err := e.log.Get(k)
+		if err != nil {
+			return fmt.Errorf("core: undo sweep at %d: %w", k, err)
+		}
+		if !rec.IsUndoable() {
+			continue
+		}
+		owner, hit := planner.ShouldUndo(rec.TxID, rec.Object, k)
+		if !hit || compensated[k] {
+			continue
+		}
+		if rec.Type == wal.TypeIncrement {
+			if err := e.undoIncrement(owner, rec); err != nil {
+				return err
+			}
+		} else if err := e.undoUpdate(owner, rec); err != nil {
+			return err
+		}
+		if err := e.fireRecoveryFailpoint(); err != nil {
+			return err
+		}
+	}
+	e.stats.RecBackwardSkipped += planner.Skipped
+	return nil
+}
+
+// fireRecoveryFailpoint decrements an armed failpoint and reports the
+// injected failure when it reaches zero.  Disarmed (or non-recovery)
+// contexts are a no-op: the failpoint only counts while Recover holds the
+// engine in the crashed state.
+func (e *Engine) fireRecoveryFailpoint() error {
+	if !e.crashed || e.recoveryFailpoint <= 0 {
+		return nil
+	}
+	e.recoveryFailpoint--
+	if e.recoveryFailpoint == 0 {
+		return ErrInjectedRecoveryFailure
+	}
+	return nil
+}
+
+// undoUpdate restores rec's before-image and logs a CLR on behalf of the
+// responsible transaction owner.
+func (e *Engine) undoUpdate(owner wal.TxID, rec *wal.Record) error {
+	info := e.txns.Get(owner)
+	prev := wal.NilLSN
+	if info != nil {
+		prev = info.LastLSN
+	}
+	clr := &wal.Record{
+		Type:        wal.TypeCLR,
+		TxID:        owner,
+		PrevLSN:     prev,
+		Object:      rec.Object,
+		Before:      rec.Before,
+		UndoNextLSN: rec.PrevLSN,
+		Compensates: rec.LSN,
+	}
+	lsn, err := e.log.Append(clr)
+	if err != nil {
+		return err
+	}
+	if err := e.store.Write(rec.Object, rec.Before, lsn); err != nil {
+		return err
+	}
+	if info != nil {
+		info.LastLSN = lsn
+	}
+	e.stats.CLRs++
+	return nil
+}
+
+// Checkpoint takes a fuzzy checkpoint (no page flushing): it brackets a
+// serialized snapshot of the transaction table, the delegation state (all
+// object lists with their scopes) and the dirty-page table between
+// checkpoint-begin/end records, flushes the log, and updates the master
+// record.  Recovery starts analysis at the checkpoint instead of the
+// beginning of the log.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	beginLSN, err := e.log.Append(&wal.Record{Type: wal.TypeCheckpointBegin})
+	if err != nil {
+		return err
+	}
+	payload := encodeCheckpoint(&checkpointData{
+		beginLSN: beginLSN,
+		txns:     e.txns.Snapshot(),
+		state:    e.state,
+		dpt:      e.pool.DirtyPageTable(),
+	})
+	endLSN, err := e.log.Append(&wal.Record{Type: wal.TypeCheckpointEnd, PrevLSN: beginLSN, Payload: payload})
+	if err != nil {
+		return err
+	}
+	if err := e.log.Flush(endLSN); err != nil {
+		return err
+	}
+	if err := e.master.Set(endLSN); err != nil {
+		return err
+	}
+	e.stats.Checkpoints++
+	return nil
+}

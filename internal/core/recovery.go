@@ -1,0 +1,359 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ariesrh/internal/delegation"
+	"ariesrh/internal/txn"
+	"ariesrh/internal/wal"
+)
+
+// ErrInjectedRecoveryFailure is returned by Recover when an armed
+// failpoint fires (see SetRecoveryFailpoint).
+var ErrInjectedRecoveryFailure = errors.New("core: injected recovery failure")
+
+// Recover restores the engine after a Crash, following §3.6:
+//
+//  1. A single forward pass (analysis + redo) from the last checkpoint —
+//     or from the minimum recLSN in its dirty-page table, if smaller —
+//     rebuilds the transaction table and the object lists, replaying
+//     delegate records into the scopes exactly as normal processing did,
+//     and repeats history by redoing logged updates not yet on the pages.
+//  2. Winners (committed before the crash) and Losers (everything else,
+//     including transactions that had aborted) are identified; LsrScopes
+//     is the union of the loser objects' scopes.
+//  3. The backward pass sweeps the clusters of overlapping loser scopes in
+//     strictly decreasing LSN order, undoing exactly the loser updates —
+//     updates whose *final delegatee* is a loser — and writing a CLR per
+//     undo.  Updates invoked by losers but delegated to winners survive;
+//     updates invoked by winners but delegated to losers are obliterated.
+//
+// The log is never modified in place: history is rewritten by
+// interpretation, not mutation.
+func (e *Engine) Recover() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.crashed {
+		return fmt.Errorf("core: Recover called without a crash")
+	}
+	// Start from a clean slate even if a previous Recover attempt died
+	// midway (e.g. an injected failure): replaying analysis onto
+	// half-built tables would double-apply delegate records.
+	e.txns.Reset(1)
+	e.state = delegation.State{}
+
+	// ---- Locate the last complete checkpoint. ----
+	scanStart := wal.LSN(1)
+	analysisAfter := wal.NilLSN // records at or below this only redo
+	head := e.log.Head()
+	if ckptEnd, err := e.master.Get(); err != nil {
+		return err
+	} else if ckptEnd != wal.NilLSN && ckptEnd <= head {
+		rec, err := e.log.Get(ckptEnd)
+		if err != nil {
+			return err
+		}
+		if rec.Type != wal.TypeCheckpointEnd {
+			return fmt.Errorf("core: master record points at %v, not a checkpoint end", rec.Type)
+		}
+		ck, err := decodeCheckpoint(rec.Payload)
+		if err != nil {
+			return err
+		}
+		for _, info := range ck.txns {
+			reg := e.txns.Register(info.ID)
+			reg.Status = info.Status
+			reg.LastLSN = info.LastLSN
+			reg.UndoNextLSN = info.UndoNextLSN
+		}
+		e.state = ck.state
+		redoStart := ck.beginLSN
+		for _, recLSN := range ck.dpt {
+			if recLSN == wal.NilLSN {
+				// A dirty page with no known recLSN forces a
+				// full redo (defensive; the buffer layer always
+				// records one).
+				redoStart = 1
+				break
+			}
+			if recLSN < redoStart {
+				redoStart = recLSN
+			}
+		}
+		scanStart = redoStart
+		analysisAfter = ckptEnd
+	}
+
+	// ---- Forward pass: analysis + redo in one sweep (§3.6.1). ----
+	// applied tracks, per object, the LSN through which the stable page
+	// image already reflects the object's updates (discovered lazily
+	// from the pageLSN of the page holding it); redo applies only
+	// younger records, making redo idempotent across repeated crashes.
+	applied := make(map[wal.ObjectID]wal.LSN)
+	compensated := make(map[wal.LSN]bool)
+	e.log.ResetReadCursor()
+	err := e.log.Scan(scanStart, wal.NilLSN, func(rec *wal.Record) (bool, error) {
+		e.stats.RecForwardRecords++
+		analyze := rec.LSN > analysisAfter
+		switch rec.Type {
+		case wal.TypeBegin:
+			if analyze {
+				info := e.txns.Register(rec.TxID)
+				info.Status = txn.Active
+				info.LastLSN = rec.LSN
+				e.state[rec.TxID] = delegation.NewObList()
+			}
+		case wal.TypeUpdate, wal.TypeIncrement:
+			if analyze {
+				info := e.txns.Register(rec.TxID)
+				info.LastLSN = rec.LSN
+				ol := e.state[rec.TxID]
+				if ol == nil {
+					ol = delegation.NewObList()
+					e.state[rec.TxID] = ol
+				}
+				ol.RecordUpdate(rec.TxID, rec.Object, rec.LSN)
+			}
+			if rec.Type == wal.TypeIncrement {
+				if err := e.redoApplyDelta(applied, rec.Object, rec.Delta, rec.LSN); err != nil {
+					return false, err
+				}
+			} else if err := e.redoApply(applied, rec.Object, rec.After, rec.LSN); err != nil {
+				return false, err
+			}
+		case wal.TypeCLR:
+			compensated[rec.Compensates] = true
+			if analyze {
+				if info := e.txns.Get(rec.TxID); info != nil {
+					info.LastLSN = rec.LSN
+				}
+			}
+			if rec.Logical {
+				if err := e.redoApplyDelta(applied, rec.Object, rec.Delta, rec.LSN); err != nil {
+					return false, err
+				}
+			} else if err := e.redoApply(applied, rec.Object, rec.Before, rec.LSN); err != nil {
+				return false, err
+			}
+		case wal.TypeDelegate:
+			if analyze {
+				torList := e.state[rec.Tor]
+				teeList := e.state[rec.Tee]
+				if torList == nil || teeList == nil {
+					return false, fmt.Errorf("core: delegate record %d references unknown transactions", rec.LSN)
+				}
+				torList.DelegateTo(teeList, rec.Tor, rec.Object)
+				if torInfo := e.txns.Get(rec.Tor); torInfo != nil {
+					torInfo.LastLSN = rec.LSN
+				}
+				if teeInfo := e.txns.Get(rec.Tee); teeInfo != nil {
+					teeInfo.LastLSN = rec.LSN
+				}
+			}
+		case wal.TypeCommit:
+			if analyze {
+				e.stats.RecWinners++
+				if info := e.txns.Get(rec.TxID); info != nil {
+					info.Status = txn.Committed
+					info.LastLSN = rec.LSN
+				}
+			}
+		case wal.TypeAbort:
+			if analyze {
+				if info := e.txns.Get(rec.TxID); info != nil {
+					info.Status = txn.Aborted
+					info.LastLSN = rec.LSN
+				}
+			}
+		case wal.TypeEnd:
+			if analyze {
+				e.txns.Remove(rec.TxID)
+				delete(e.state, rec.TxID)
+			}
+		case wal.TypeCheckpointBegin, wal.TypeCheckpointEnd:
+			// Checkpoints carry no database changes.
+		default:
+			return false, fmt.Errorf("core: unexpected record %v during recovery", rec.Type)
+		}
+		return true, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// ---- Classify winners and losers; build LsrScopes (§3.6.1). ----
+	var losers []wal.TxID
+	for _, info := range e.txns.Snapshot() {
+		if info.Status == txn.Committed {
+			// Winner whose End record was lost with the crash:
+			// its effects are already redone; finish bookkeeping.
+			if _, err := e.log.Append(&wal.Record{Type: wal.TypeEnd, TxID: info.ID, PrevLSN: info.LastLSN}); err != nil {
+				return err
+			}
+			e.txns.Remove(info.ID)
+			delete(e.state, info.ID)
+			continue
+		}
+		losers = append(losers, info.ID)
+	}
+	var lsrScopes []delegation.Scope
+	for _, id := range losers {
+		e.stats.RecLosers++
+		if ol := e.state[id]; ol != nil {
+			lsrScopes = append(lsrScopes, ol.OwnedScopes(id)...)
+		}
+	}
+
+	// ---- Backward pass: cluster sweep undoing loser updates (§3.6.2). ----
+	undoneBefore := e.stats.CLRs
+	if e.opts.FullScanUndo {
+		// Ablation: the rejected alternative — "scan all log records
+		// backwards, identifying the loser updates … unnecessarily
+		// inspecting many winner updates."
+		if err := e.undoScopesFullScan(lsrScopes, compensated); err != nil {
+			return err
+		}
+	} else if err := e.undoScopes(lsrScopes, compensated); err != nil {
+		return err
+	}
+	e.stats.RecCLRs += e.stats.CLRs - undoneBefore
+	e.stats.RecUndone += e.stats.CLRs - undoneBefore
+
+	// ---- Terminate losers. ----
+	for _, id := range losers {
+		info := e.txns.Get(id)
+		if info == nil {
+			continue
+		}
+		if info.Status != txn.Aborted {
+			lsn, err := e.log.Append(&wal.Record{Type: wal.TypeAbort, TxID: id, PrevLSN: info.LastLSN})
+			if err != nil {
+				return err
+			}
+			info.LastLSN = lsn
+		}
+		if _, err := e.log.Append(&wal.Record{Type: wal.TypeEnd, TxID: id, PrevLSN: info.LastLSN}); err != nil {
+			return err
+		}
+		e.txns.Remove(id)
+		delete(e.state, id)
+	}
+	if err := e.log.Flush(e.log.Head()); err != nil {
+		return err
+	}
+	e.crashed = false
+	// RecoveryComplete.
+	return nil
+}
+
+// undoScopesFullScan is the ablation counterpart of undoScopes: it visits
+// EVERY log position from the head down to the oldest loser scope,
+// checking each update against the scopes.  Functionally identical to the
+// cluster sweep; the visit counters expose the cost difference the paper's
+// cluster design avoids.
+func (e *Engine) undoScopesFullScan(scopes []delegation.Scope, compensated map[wal.LSN]bool) error {
+	if len(scopes) == 0 {
+		return nil
+	}
+	low := scopes[0].First
+	high := scopes[0].Last
+	for _, s := range scopes[1:] {
+		if s.First < low {
+			low = s.First
+		}
+		if s.Last > high {
+			high = s.Last
+		}
+	}
+	for k := high; k >= low && k != wal.NilLSN; k-- {
+		e.stats.RecBackwardVisited++
+		rec, err := e.log.Get(k)
+		if err != nil {
+			return err
+		}
+		if !rec.IsUndoable() || compensated[k] {
+			continue
+		}
+		for _, s := range scopes {
+			if s.Invoker == rec.TxID && s.Object == rec.Object && s.Contains(k) {
+				if rec.Type == wal.TypeIncrement {
+					if err := e.undoIncrement(s.Owner, rec); err != nil {
+						return err
+					}
+				} else if err := e.undoUpdate(s.Owner, rec); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// redoApply repeats history for one logged change: the value is applied
+// unless the object's stable image already reflects it.  On the first
+// touch of an object the page image's coverage is discovered from its
+// pageLSN: a page flushed at pageLSN pl contains exactly the updates with
+// LSN ≤ pl for every object stored in it.
+func (e *Engine) redoApply(applied map[wal.ObjectID]wal.LSN, obj wal.ObjectID, val []byte, lsn wal.LSN) error {
+	la, ok := applied[obj]
+	if !ok {
+		pl, err := e.store.PageLSN(obj)
+		if err != nil {
+			return err
+		}
+		la = pl
+		applied[obj] = la
+	}
+	if lsn <= la {
+		return nil
+	}
+	if err := e.store.Write(obj, val, lsn); err != nil {
+		return err
+	}
+	applied[obj] = lsn
+	e.stats.RecRedone++
+	return nil
+}
+
+// redoApplyDelta repeats history for a logical (increment or logical-CLR)
+// change, with the same per-object coverage discipline as redoApply.
+func (e *Engine) redoApplyDelta(applied map[wal.ObjectID]wal.LSN, obj wal.ObjectID, delta int64, lsn wal.LSN) error {
+	la, ok := applied[obj]
+	if !ok {
+		pl, err := e.store.PageLSN(obj)
+		if err != nil {
+			return err
+		}
+		la = pl
+		applied[obj] = la
+	}
+	if lsn <= la {
+		return nil
+	}
+	if err := e.applyDelta(obj, delta, lsn); err != nil {
+		return err
+	}
+	applied[obj] = lsn
+	e.stats.RecRedone++
+	return nil
+}
+
+// IsCrashed reports whether the engine is between Crash and Recover.
+func (e *Engine) IsCrashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// ErrIs reports whether err matches any engine sentinel; convenience for
+// callers that treat deadlock and ill-formed delegation uniformly.
+func ErrIs(err error, sentinels ...error) bool {
+	for _, s := range sentinels {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}

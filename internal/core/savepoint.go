@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+
+	"ariesrh/internal/delegation"
+	"ariesrh/internal/txn"
+	"ariesrh/internal/wal"
+)
+
+// Savepoints implement partial rollback — one of the "variety of recovery
+// primitives" the paper's conclusion calls for (§6: "making recovery a
+// first-class concept").  A savepoint is an LSN marker; RollbackTo undoes
+// exactly the updates the transaction is currently responsible for that
+// were logged after the marker, writing CLRs as usual, and trims its
+// scopes accordingly.
+//
+// Interaction with delegation follows from responsibility:
+//
+//   - updates the transaction delegated AWAY after the savepoint are NOT
+//     undone (they are no longer its responsibility — the delegation
+//     stands, exactly as a full abort would leave it);
+//   - updates received THROUGH delegation after the savepoint ARE undone
+//     (they are its responsibility, and they postdate the marker).
+//
+// Savepoints are volatile: they do not survive a crash (a crash aborts
+// the transaction entirely), so nothing is logged for the savepoint
+// itself, mirroring ARIES.
+
+// Savepoint marks a rollback point inside a transaction.
+type Savepoint struct {
+	tx  wal.TxID
+	lsn wal.LSN
+}
+
+// Savepoint records a rollback point for tx at the current end of its
+// history.
+func (e *Engine) Savepoint(tx wal.TxID) (Savepoint, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return Savepoint{}, ErrCrashed
+	}
+	if _, err := e.activeInfo(tx); err != nil {
+		return Savepoint{}, err
+	}
+	return Savepoint{tx: tx, lsn: e.log.Head()}, nil
+}
+
+// RollbackTo undoes every update tx is responsible for with LSN greater
+// than the savepoint, in reverse LSN order, and trims tx's scopes to the
+// savepoint.  The transaction remains active and may continue.
+func (e *Engine) RollbackTo(sp Savepoint) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if _, err := e.activeInfo(sp.tx); err != nil {
+		return err
+	}
+	ol, ok := e.state[sp.tx]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchTxn, sp.tx)
+	}
+	// Clip each scope to the part after the savepoint and undo that.
+	var after []delegation.Scope
+	for _, s := range ol.OwnedScopes(sp.tx) {
+		if s.Last <= sp.lsn {
+			continue
+		}
+		clipped := s
+		if clipped.First <= sp.lsn {
+			clipped.First = sp.lsn + 1
+		}
+		after = append(after, clipped)
+	}
+	if err := e.undoScopes(after, nil); err != nil {
+		return err
+	}
+	// Trim the object list: drop or shorten scopes past the marker.
+	e.state[sp.tx] = trimObList(ol, sp.lsn)
+	return nil
+}
+
+// trimObList returns a copy of ol with every scope clipped to LSNs ≤ cut;
+// entries left with no scopes are dropped.
+func trimObList(ol *delegation.ObList, cut wal.LSN) *delegation.ObList {
+	out := delegation.NewObList()
+	for _, obj := range ol.Objects() {
+		src := ol.Entry(obj)
+		dst := &delegation.Entry{Deleg: src.Deleg}
+		for _, s := range src.Closed {
+			if s.First > cut {
+				continue
+			}
+			if s.Last > cut {
+				s.Last = cut
+			}
+			dst.Closed = append(dst.Closed, s)
+		}
+		if src.HasActive && src.Active.First <= cut {
+			if src.Active.Last > cut {
+				// The active scope straddled the savepoint: its
+				// tail was just undone (CLRs written).  Close the
+				// surviving prefix so a later update opens a FRESH
+				// scope rather than re-extending this one across
+				// the compensated gap — re-covering those LSNs
+				// would make a later full abort undo them twice.
+				clipped := src.Active
+				clipped.Last = cut
+				dst.Closed = append(dst.Closed, clipped)
+			} else {
+				dst.HasActive = true
+				dst.Active = src.Active
+			}
+		}
+		if len(dst.Closed) > 0 || dst.HasActive {
+			out.SetEntry(obj, dst)
+		}
+	}
+	return out
+}
+
+// MinRequiredLSN returns the oldest log record a future recovery could
+// need: the minimum of the last checkpoint's redo start and the first LSN
+// of any live scope.  Everything before it may be archived.
+//
+// This exposes a consequence of delegation the paper leaves implicit:
+// because a delegated scope can travel between long-lived transactions,
+// a live scope may reach arbitrarily far back in the log, pinning it —
+// log reclamation interacts with the transaction model, not just with
+// checkpoints.
+func (e *Engine) MinRequiredLSN() (wal.LSN, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return wal.NilLSN, ErrCrashed
+	}
+	min := e.log.Head() + 1
+	// Checkpoint bound: next recovery starts at the last checkpoint's
+	// redo start (or 1 with no checkpoint).
+	ckptEnd, err := e.master.Get()
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	if ckptEnd == wal.NilLSN {
+		if e.log.Head() == 0 {
+			return 1, nil
+		}
+		min = 1
+	} else {
+		rec, err := e.log.Get(ckptEnd)
+		if err != nil {
+			return wal.NilLSN, err
+		}
+		ck, err := decodeCheckpoint(rec.Payload)
+		if err != nil {
+			return wal.NilLSN, err
+		}
+		redoStart := ck.beginLSN
+		for _, recLSN := range ck.dpt {
+			if recLSN != wal.NilLSN && recLSN < redoStart {
+				redoStart = recLSN
+			}
+		}
+		if redoStart < min {
+			min = redoStart
+		}
+	}
+	// Scope bound: any live transaction's scopes may need undoing.
+	for _, ol := range e.state {
+		if first := ol.MinFirst(); first != wal.NilLSN && first < min {
+			min = first
+		}
+	}
+	// Uncommitted chains: a live transaction's own records back to its
+	// begin may be traversed (e.g. CLR UndoNextLSN bookkeeping).
+	for _, info := range e.txns.Snapshot() {
+		if info.Status == txn.Active && info.LastLSN != wal.NilLSN {
+			// Conservative: keep from its first record; scopes
+			// already bound updates, this bounds begin records.
+			if first := e.beginOf(info.ID); first != wal.NilLSN && first < min {
+				min = first
+			}
+		}
+	}
+	return min, nil
+}
+
+// ArchiveLog reclaims log space: it computes MinRequiredLSN and discards
+// every earlier record from the log, compacting the stable device.  It
+// returns the new base (the highest archived LSN).  Safe at any time; with
+// live delegated scopes reaching far back it simply reclaims little.
+func (e *Engine) ArchiveLog() (wal.LSN, error) {
+	min, err := e.MinRequiredLSN()
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if min <= 1 {
+		return e.log.Base(), nil
+	}
+	upTo := min - 1
+	if flushed := e.log.FlushedLSN(); upTo > flushed {
+		upTo = flushed
+	}
+	if err := e.log.Archive(upTo); err != nil {
+		return wal.NilLSN, err
+	}
+	return e.log.Base(), nil
+}
+
+// beginOf walks tx's backward chain to its begin record; used only by the
+// archive bound, which is not on the hot path.
+func (e *Engine) beginOf(tx wal.TxID) wal.LSN {
+	info := e.txns.Get(tx)
+	if info == nil {
+		return wal.NilLSN
+	}
+	lsn := info.LastLSN
+	for lsn != wal.NilLSN {
+		rec, err := e.log.Get(lsn)
+		if err != nil {
+			return wal.NilLSN
+		}
+		if rec.Type == wal.TypeBegin {
+			return lsn
+		}
+		prev := rec.PrevLSN
+		if rec.Type == wal.TypeDelegate && rec.Tee == tx {
+			prev = rec.TeePrev
+		}
+		if prev >= lsn {
+			return wal.NilLSN // defensive: chains must strictly decrease
+		}
+		lsn = prev
+	}
+	return wal.NilLSN
+}

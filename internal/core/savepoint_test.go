@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+
+	"ariesrh/internal/wal"
+)
+
+func TestSavepointBasicPartialRollback(t *testing.T) {
+	e := newEngine(t)
+	tx := mustBegin(t, e)
+	mustUpdate(t, e, tx, 1, "keep")
+	sp, err := e.Savepoint(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, e, tx, 1, "drop")
+	mustUpdate(t, e, tx, 2, "drop-too")
+	if err := e.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	// Transaction still active; pre-savepoint state restored.
+	wantValue(t, e, 1, "keep")
+	wantValue(t, e, 2, "")
+	// It can keep working and commit.
+	mustUpdate(t, e, tx, 3, "after-rollback")
+	mustCommit(t, e, tx)
+	wantValue(t, e, 1, "keep")
+	wantValue(t, e, 3, "after-rollback")
+}
+
+func TestSavepointThenFullAbort(t *testing.T) {
+	// The double-undo hazard: updates undone by a partial rollback must
+	// not be undone again by the eventual full abort.
+	e := newEngine(t)
+	setup := mustBegin(t, e)
+	mustUpdate(t, e, setup, 1, "base")
+	mustCommit(t, e, setup)
+
+	tx := mustBegin(t, e)
+	mustUpdate(t, e, tx, 1, "v1")
+	sp, err := e.Savepoint(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, e, tx, 1, "v2")
+	if err := e.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	wantValue(t, e, 1, "v1")
+	// Update again after the rollback, then abort everything.
+	mustUpdate(t, e, tx, 1, "v3")
+	mustAbort(t, e, tx)
+	// A correct abort lands on "base"; double-undoing v2's CLR region
+	// or mis-ordering would leave "v1" or "v2".
+	wantValue(t, e, 1, "base")
+}
+
+func TestSavepointDoesNotTouchDelegatedAway(t *testing.T) {
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	sp, err := e.Savepoint(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, e, t1, 1, "delegated")
+	mustDelegate(t, e, t1, t2, 1)
+	if err := e.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	// The update postdates the savepoint but was delegated away: it is
+	// t2's responsibility and must survive t1's partial rollback.
+	wantValue(t, e, 1, "delegated")
+	mustCommit(t, e, t2)
+	mustAbort(t, e, t1)
+	wantValue(t, e, 1, "delegated")
+}
+
+func TestSavepointUndoesDelegatedIn(t *testing.T) {
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	sp, err := e.Savepoint(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, e, t1, 1, "received")
+	mustDelegate(t, e, t1, t2, 1)
+	// The delegated-in update postdates t2's savepoint: rolled back.
+	if err := e.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	wantValue(t, e, 1, "")
+	mustCommit(t, e, t2)
+	mustCommit(t, e, t1)
+	wantValue(t, e, 1, "")
+}
+
+func TestSavepointKeepsDelegatedInBeforeMark(t *testing.T) {
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "early")
+	mustDelegate(t, e, t1, t2, 1)
+	sp, err := e.Savepoint(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustUpdate(t, e, t2, 2, "late")
+	if err := e.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	wantValue(t, e, 1, "early") // predates the savepoint: kept
+	wantValue(t, e, 2, "")      // postdates it: undone
+	mustCommit(t, e, t2)
+	wantValue(t, e, 1, "early")
+}
+
+func TestSavepointNestedRollbacks(t *testing.T) {
+	e := newEngine(t)
+	tx := mustBegin(t, e)
+	mustUpdate(t, e, tx, 1, "v1")
+	sp1, _ := e.Savepoint(tx)
+	mustUpdate(t, e, tx, 1, "v2")
+	sp2, _ := e.Savepoint(tx)
+	mustUpdate(t, e, tx, 1, "v3")
+	if err := e.RollbackTo(sp2); err != nil {
+		t.Fatal(err)
+	}
+	wantValue(t, e, 1, "v2")
+	if err := e.RollbackTo(sp1); err != nil {
+		t.Fatal(err)
+	}
+	wantValue(t, e, 1, "v1")
+	mustCommit(t, e, tx)
+	wantValue(t, e, 1, "v1")
+}
+
+func TestSavepointCrashAbortsEverything(t *testing.T) {
+	e := newEngine(t)
+	tx := mustBegin(t, e)
+	mustUpdate(t, e, tx, 1, "before-sp")
+	sp, _ := e.Savepoint(tx)
+	mustUpdate(t, e, tx, 1, "after-sp")
+	if err := e.RollbackTo(sp); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Log().Flush(e.Log().Head()); err != nil {
+		t.Fatal(err)
+	}
+	crashAndRecover(t, e)
+	// Savepoints don't survive: the whole transaction is a loser.
+	wantValue(t, e, 1, "")
+}
+
+func TestSavepointOnTerminatedTxnFails(t *testing.T) {
+	e := newEngine(t)
+	tx := mustBegin(t, e)
+	sp, err := e.Savepoint(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, e, tx)
+	if _, err := e.Savepoint(tx); err == nil {
+		t.Fatal("savepoint on committed txn accepted")
+	}
+	if err := e.RollbackTo(sp); err == nil {
+		t.Fatal("rollback of committed txn accepted")
+	}
+}
+
+func TestMinRequiredLSNAdvancesWithCheckpoint(t *testing.T) {
+	e := newEngine(t)
+	tx := mustBegin(t, e)
+	mustUpdate(t, e, tx, 1, "v")
+	mustCommit(t, e, tx)
+	min1, err := e.MinRequiredLSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min1 != 1 {
+		t.Fatalf("before checkpoint min = %d, want 1", min1)
+	}
+	// A checkpoint with no dirty-page history... flush pages first so
+	// the DPT is empty and redo can start at the checkpoint.
+	if err := e.store.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	min2, err := e.MinRequiredLSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min2 <= min1 {
+		t.Fatalf("checkpoint did not advance the bound: %d -> %d", min1, min2)
+	}
+}
+
+func TestMinRequiredLSNPinnedByDelegatedScope(t *testing.T) {
+	// A live delegated scope reaches back before the checkpoint: the log
+	// stays pinned at the scope's first LSN.
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	t2 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "old") // LSN 3
+	mustDelegate(t, e, t1, t2, 1)
+	mustCommit(t, e, t1)
+	if err := e.store.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Pad the log.
+	t3 := mustBegin(t, e)
+	for i := 0; i < 50; i++ {
+		mustUpdate(t, e, t3, wal.ObjectID(100+i), "pad")
+	}
+	mustCommit(t, e, t3)
+	min, err := e.MinRequiredLSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min > 3 {
+		t.Fatalf("min = %d; t2's delegated scope at LSN 3 must pin the log", min)
+	}
+	// Once the pinning transaction ends, the bound advances.
+	mustCommit(t, e, t2)
+	if err := e.store.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	min2, err := e.MinRequiredLSN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min2 <= 3 {
+		t.Fatalf("bound did not advance after the delegatee committed: %d", min2)
+	}
+}

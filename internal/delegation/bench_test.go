@@ -1,0 +1,73 @@
+package delegation
+
+import (
+	"fmt"
+	"testing"
+
+	"ariesrh/internal/wal"
+)
+
+func BenchmarkPlannerSweep(b *testing.B) {
+	for _, scopes := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("scopes-%d", scopes), func(b *testing.B) {
+			// Disjoint singleton scopes spread over a sparse range:
+			// the sweep must skip between all of them.
+			ss := make([]Scope, scopes)
+			for i := range ss {
+				pos := wal.LSN(i*100 + 1)
+				ss[i] = Scope{Object: wal.ObjectID(i), Invoker: 1, First: pos, Last: pos + 3, Owner: 2}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := NewPlanner(ss)
+				for {
+					k, ok := p.Next()
+					if !ok {
+						break
+					}
+					p.ShouldUndo(1, wal.ObjectID(0), k)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkObListRecordUpdate(b *testing.B) {
+	b.ReportAllocs()
+	ol := NewObList()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ol.RecordUpdate(1, wal.ObjectID(i%512), wal.LSN(i+1))
+	}
+}
+
+func BenchmarkDelegateTo(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		src, dst := NewObList(), NewObList()
+		for o := 0; o < 16; o++ {
+			src.RecordUpdate(1, wal.ObjectID(o), wal.LSN(i+o+1))
+		}
+		b.StartTimer()
+		for o := 0; o < 16; o++ {
+			src.DelegateTo(dst, 1, wal.ObjectID(o))
+		}
+	}
+}
+
+func BenchmarkEncodeState(b *testing.B) {
+	st := State{}
+	for tx := wal.TxID(1); tx <= 32; tx++ {
+		ol := NewObList()
+		for o := 0; o < 16; o++ {
+			ol.RecordUpdate(tx, wal.ObjectID(int(tx)*100+o), wal.LSN(int(tx)*1000+o))
+		}
+		st[tx] = ol
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeState(st)
+	}
+}

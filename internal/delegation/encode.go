@@ -1,0 +1,178 @@
+package delegation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ariesrh/internal/wal"
+)
+
+// State is the volatile delegation state of the whole system: each
+// transaction's object list.  Fuzzy checkpoints serialize it into the
+// checkpoint-end record so recovery can start from the checkpoint instead
+// of the beginning of the log.
+type State map[wal.TxID]*ObList
+
+// EncodeState serializes the state deterministically (sorted by
+// transaction, object, invoker).
+func EncodeState(st State) []byte {
+	txs := make([]wal.TxID, 0, len(st))
+	for tx := range st {
+		txs = append(txs, tx)
+	}
+	sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(txs)))
+	for _, tx := range txs {
+		ol := st[tx]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(tx))
+		objs := ol.Objects()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(objs)))
+		for _, obj := range objs {
+			e := ol.Entry(obj)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(obj))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Deleg))
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Closed)))
+			for _, s := range e.Closed {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(s.Invoker))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(s.First))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Last))
+			}
+			if e.HasActive {
+				buf = append(buf, 1)
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Active.Invoker))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Active.First))
+				buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Active.Last))
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
+type stateDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *stateDecoder) u8() (uint8, error) {
+	if d.off+1 > len(d.buf) {
+		return 0, fmt.Errorf("delegation: truncated state")
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *stateDecoder) u16() (uint16, error) {
+	if d.off+2 > len(d.buf) {
+		return 0, fmt.Errorf("delegation: truncated state")
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v, nil
+}
+
+func (d *stateDecoder) u32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, fmt.Errorf("delegation: truncated state")
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *stateDecoder) u64() (uint64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, fmt.Errorf("delegation: truncated state")
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+// DecodeState parses a buffer produced by EncodeState.
+func DecodeState(buf []byte) (State, error) {
+	d := &stateDecoder{buf: buf}
+	nTx, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	st := make(State, nTx)
+	for i := uint32(0); i < nTx; i++ {
+		txRaw, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		tx := wal.TxID(txRaw)
+		nObj, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		ol := NewObList()
+		for j := uint32(0); j < nObj; j++ {
+			objRaw, err := d.u64()
+			if err != nil {
+				return nil, err
+			}
+			delegRaw, err := d.u32()
+			if err != nil {
+				return nil, err
+			}
+			nScopes, err := d.u16()
+			if err != nil {
+				return nil, err
+			}
+			e := &Entry{Deleg: wal.TxID(delegRaw)}
+			readScope := func() (Scope, error) {
+				inv, err := d.u32()
+				if err != nil {
+					return Scope{}, err
+				}
+				first, err := d.u64()
+				if err != nil {
+					return Scope{}, err
+				}
+				last, err := d.u64()
+				if err != nil {
+					return Scope{}, err
+				}
+				return Scope{
+					Object:  wal.ObjectID(objRaw),
+					Invoker: wal.TxID(inv),
+					First:   wal.LSN(first),
+					Last:    wal.LSN(last),
+				}, nil
+			}
+			for k := uint16(0); k < nScopes; k++ {
+				s, err := readScope()
+				if err != nil {
+					return nil, err
+				}
+				e.Closed = append(e.Closed, s)
+			}
+			hasActive, err := d.u8()
+			if err != nil {
+				return nil, err
+			}
+			if hasActive == 1 {
+				s, err := readScope()
+				if err != nil {
+					return nil, err
+				}
+				e.HasActive = true
+				e.Active = s
+			} else if hasActive != 0 {
+				return nil, fmt.Errorf("delegation: bad active-scope flag %d", hasActive)
+			}
+			ol.SetEntry(wal.ObjectID(objRaw), e)
+		}
+		st[tx] = ol
+	}
+	if d.off != len(buf) {
+		return nil, fmt.Errorf("delegation: %d trailing bytes in state", len(buf)-d.off)
+	}
+	return st, nil
+}

@@ -1,0 +1,28 @@
+package delegation
+
+import "testing"
+
+// FuzzDecodeState checks the checkpoint-state decoder never panics and
+// round-trips what it accepts.
+func FuzzDecodeState(f *testing.F) {
+	st := State{1: NewObList(), 2: NewObList()}
+	st[1].RecordUpdate(1, 7, 10)
+	st[2].RecordUpdate(2, 7, 12)
+	st[1].DelegateTo(st[2], 1, 7)
+	f.Add(EncodeState(st))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeState(data)
+		if err != nil {
+			return
+		}
+		re := EncodeState(got)
+		got2, err := DecodeState(re)
+		if err != nil {
+			t.Fatalf("accepted state does not round trip: %v", err)
+		}
+		if string(EncodeState(got2)) != string(re) {
+			t.Fatal("re-encoding unstable")
+		}
+	})
+}

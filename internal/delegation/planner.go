@@ -1,0 +1,167 @@
+package delegation
+
+import (
+	"container/heap"
+
+	"ariesrh/internal/wal"
+)
+
+// Planner drives the backward pass of ARIES/RH (§3.6.2, Figure 8).  Given
+// the loser scopes (LsrScopes), it yields — in strictly decreasing order —
+// exactly the log positions inside clusters of overlapping loser scopes,
+// skipping the log between clusters.  At each yielded position the engine
+// asks ShouldUndo whether the record there is a loser update.
+//
+// Invariants (asserted by the property tests):
+//   - positions are yielded in strictly decreasing LSN order
+//     (each log record is visited at most once);
+//   - every LSN inside some loser scope is yielded;
+//   - no LSN outside every loser scope is yielded.
+type Planner struct {
+	heap    scopeHeap
+	cluster map[clusterKey][]Scope
+
+	k          wal.LSN
+	begCluster wal.LSN
+	started    bool
+	done       bool
+
+	// Visited counts yielded positions; Skipped counts log positions
+	// jumped over between clusters.  The benchmark harness reports both.
+	Visited uint64
+	Skipped uint64
+}
+
+type clusterKey struct {
+	invoker wal.TxID
+	object  wal.ObjectID
+}
+
+// scopeHeap is a max-heap of scopes ordered by Last (the paper suggests a
+// priority queue sorted by right end, largest first).
+type scopeHeap []Scope
+
+func (h scopeHeap) Len() int            { return len(h) }
+func (h scopeHeap) Less(i, j int) bool  { return h[i].Last > h[j].Last }
+func (h scopeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *scopeHeap) Push(x interface{}) { *h = append(*h, x.(Scope)) }
+func (h *scopeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// NewPlanner builds a planner over the loser scopes.  Scopes with
+// First == NilLSN are ignored (defensive; such scopes cover nothing).
+func NewPlanner(scopes []Scope) *Planner {
+	p := &Planner{cluster: make(map[clusterKey][]Scope)}
+	for _, s := range scopes {
+		if s.First == wal.NilLSN || s.Last < s.First {
+			continue
+		}
+		p.heap = append(p.heap, s)
+	}
+	heap.Init(&p.heap)
+	return p
+}
+
+// Next yields the next log position to examine, or (NilLSN, false) when the
+// sweep is complete.  The engine must call ShouldUndo (if the record at the
+// position is an update) before the following Next call.
+func (p *Planner) Next() (wal.LSN, bool) {
+	if p.done {
+		return wal.NilLSN, false
+	}
+	if !p.started {
+		p.started = true
+		if p.heap.Len() == 0 {
+			p.done = true
+			return wal.NilLSN, false
+		}
+		p.k = p.heap[0].Last
+		p.begCluster = p.k
+		p.absorb()
+		p.Visited++
+		return p.k, true
+	}
+	// Finish the previous position: scopes beginning there are fully
+	// processed (Figure 8, step α3).
+	p.expire()
+	p.k-- // α4
+	if p.k < p.begCluster {
+		// Cluster exhausted (end of the repeat loop); jump to the
+		// right end of the next cluster (step β).
+		if p.heap.Len() == 0 {
+			p.done = true
+			return wal.NilLSN, false
+		}
+		next := p.heap[0].Last
+		if next < p.k {
+			p.Skipped += uint64(p.k - next)
+			p.k = next
+		}
+		p.begCluster = p.k
+	}
+	p.absorb() // α1
+	p.Visited++
+	return p.k, true
+}
+
+// absorb moves every scope whose Last equals the current position from
+// LsrScopes into the cluster, lowering begCluster (step α1).
+func (p *Planner) absorb() {
+	for p.heap.Len() > 0 && p.heap[0].Last == p.k {
+		s := heap.Pop(&p.heap).(Scope)
+		key := clusterKey{invoker: s.Invoker, object: s.Object}
+		p.cluster[key] = append(p.cluster[key], s)
+		if s.First < p.begCluster {
+			p.begCluster = s.First
+		}
+	}
+}
+
+// expire removes cluster scopes that begin at the current position — they
+// have been fully swept (step α3).
+func (p *Planner) expire() {
+	for key, scopes := range p.cluster {
+		kept := scopes[:0]
+		for _, s := range scopes {
+			if s.First != p.k {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) == 0 {
+			delete(p.cluster, key)
+		} else {
+			p.cluster[key] = kept
+		}
+	}
+}
+
+// ShouldUndo reports whether the update record at lsn — invoked by invoker
+// on object — falls inside a loser scope of the current cluster (step α2:
+// "a record is a loser update if it is within the ends of a loser scope
+// whose invoking transaction is the same as the update's invoking
+// transaction").  On a hit it also returns the scope's Owner, the loser
+// transaction responsible for the update, to which the compensation log
+// record is attributed.
+func (p *Planner) ShouldUndo(invoker wal.TxID, object wal.ObjectID, lsn wal.LSN) (wal.TxID, bool) {
+	for _, s := range p.cluster[clusterKey{invoker: invoker, object: object}] {
+		if s.Contains(lsn) {
+			return s.Owner, true
+		}
+	}
+	return wal.NilTx, false
+}
+
+// ClusterSize returns the number of scopes in the current cluster; test
+// and trace helper.
+func (p *Planner) ClusterSize() int {
+	n := 0
+	for _, scopes := range p.cluster {
+		n += len(scopes)
+	}
+	return n
+}

@@ -1,0 +1,223 @@
+package delegation
+
+import (
+	"math/rand"
+	"testing"
+
+	"ariesrh/internal/wal"
+)
+
+// collect runs the planner to completion and returns the visited LSNs.
+func collect(t *testing.T, p *Planner) []wal.LSN {
+	t.Helper()
+	var out []wal.LSN
+	for {
+		k, ok := p.Next()
+		if !ok {
+			break
+		}
+		out = append(out, k)
+		if len(out) > 1_000_000 {
+			t.Fatal("planner did not terminate")
+		}
+	}
+	return out
+}
+
+func TestPlannerEmpty(t *testing.T) {
+	p := NewPlanner(nil)
+	if k, ok := p.Next(); ok {
+		t.Fatalf("empty planner yielded %d", k)
+	}
+}
+
+func TestPlannerSingleScope(t *testing.T) {
+	p := NewPlanner([]Scope{{Object: 1, Invoker: 1, First: 5, Last: 9}})
+	got := collect(t, p)
+	want := []wal.LSN{9, 8, 7, 6, 5}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPlannerSkipsBetweenClusters(t *testing.T) {
+	// Figure 7 shape: three clusters with gaps between them.
+	scopes := []Scope{
+		{Object: 1, Invoker: 1, First: 2, Last: 4},   // first (oldest) cluster
+		{Object: 2, Invoker: 2, First: 10, Last: 14}, // middle cluster ...
+		{Object: 3, Invoker: 3, First: 12, Last: 17}, // ... overlapping scopes
+		{Object: 1, Invoker: 1, First: 13, Last: 15}, // ...
+		{Object: 4, Invoker: 4, First: 30, Last: 33}, // last cluster
+	}
+	p := NewPlanner(scopes)
+	got := collect(t, p)
+	var want []wal.LSN
+	for k := 33; k >= 30; k-- {
+		want = append(want, wal.LSN(k))
+	}
+	for k := 17; k >= 10; k-- {
+		want = append(want, wal.LSN(k))
+	}
+	for k := 4; k >= 2; k-- {
+		want = append(want, wal.LSN(k))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("visited %v\nwant    %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("visited %v\nwant    %v", got, want)
+		}
+	}
+	if p.Skipped == 0 {
+		t.Fatal("no skipping recorded despite gaps")
+	}
+}
+
+func TestPlannerShouldUndo(t *testing.T) {
+	scopes := []Scope{
+		{Object: 7, Invoker: 1, First: 5, Last: 9, Owner: 42},
+		{Object: 8, Invoker: 2, First: 7, Last: 12, Owner: 43},
+	}
+	p := NewPlanner(scopes)
+	undone := map[wal.LSN]bool{}
+	for {
+		k, ok := p.Next()
+		if !ok {
+			break
+		}
+		// At each position, probe the combinations an engine would.
+		if owner, ok := p.ShouldUndo(1, 7, k); ok {
+			if owner != 42 {
+				t.Fatalf("owner = t%d, want t42", owner)
+			}
+			undone[k] = true
+		}
+		if _, ok := p.ShouldUndo(2, 7, k); ok {
+			t.Fatalf("wrong invoker matched at %d", k)
+		}
+		if _, ok := p.ShouldUndo(1, 8, k); ok {
+			t.Fatalf("wrong object matched at %d", k)
+		}
+	}
+	for k := wal.LSN(5); k <= 9; k++ {
+		if !undone[k] {
+			t.Fatalf("in-scope position %d not undoable", k)
+		}
+	}
+	if len(undone) != 5 {
+		t.Fatalf("undone = %v", undone)
+	}
+}
+
+func TestPlannerAdjacentScopesFormOneCluster(t *testing.T) {
+	// Overlap at a single point: [3,6] and [6,9] share position 6.
+	p := NewPlanner([]Scope{
+		{Object: 1, Invoker: 1, First: 3, Last: 6},
+		{Object: 2, Invoker: 2, First: 6, Last: 9},
+	})
+	got := collect(t, p)
+	if len(got) != 7 || got[0] != 9 || got[len(got)-1] != 3 {
+		t.Fatalf("visited %v", got)
+	}
+	if p.Skipped != 0 {
+		t.Fatalf("skipped %d positions inside one cluster", p.Skipped)
+	}
+}
+
+func TestPlannerDuplicateRightEnds(t *testing.T) {
+	p := NewPlanner([]Scope{
+		{Object: 1, Invoker: 1, First: 4, Last: 8},
+		{Object: 2, Invoker: 2, First: 6, Last: 8},
+		{Object: 3, Invoker: 3, First: 8, Last: 8},
+	})
+	got := collect(t, p)
+	if len(got) != 5 || got[0] != 8 || got[4] != 4 {
+		t.Fatalf("visited %v", got)
+	}
+}
+
+// TestPlannerProperties is the paper's §3.6.2 efficiency/correctness
+// argument as a randomized property: positions strictly decrease (each
+// record visited at most once), every in-scope position is visited, no
+// out-of-scope position is visited, and ShouldUndo answers exactly
+// scope membership.
+func TestPlannerProperties(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(20)
+		var scopes []Scope
+		inScope := map[wal.LSN]bool{}
+		type probe struct {
+			inv wal.TxID
+			obj wal.ObjectID
+		}
+		covered := map[wal.LSN]map[probe]bool{}
+		for i := 0; i < n; i++ {
+			first := wal.LSN(rng.Intn(200) + 1)
+			last := first + wal.LSN(rng.Intn(30))
+			s := Scope{
+				Object:  wal.ObjectID(rng.Intn(5) + 1),
+				Invoker: wal.TxID(rng.Intn(5) + 1),
+				First:   first,
+				Last:    last,
+			}
+			scopes = append(scopes, s)
+			for k := s.First; k <= s.Last; k++ {
+				inScope[k] = true
+				if covered[k] == nil {
+					covered[k] = map[probe]bool{}
+				}
+				covered[k][probe{s.Invoker, s.Object}] = true
+			}
+		}
+		p := NewPlanner(scopes)
+		visited := map[wal.LSN]bool{}
+		prev := wal.LSN(1 << 62)
+		for {
+			k, ok := p.Next()
+			if !ok {
+				break
+			}
+			if k >= prev {
+				t.Fatalf("seed %d: position %d after %d (not strictly decreasing)", seed, k, prev)
+			}
+			prev = k
+			if !inScope[k] {
+				t.Fatalf("seed %d: visited out-of-scope position %d", seed, k)
+			}
+			visited[k] = true
+			for inv := wal.TxID(1); inv <= 5; inv++ {
+				for obj := wal.ObjectID(1); obj <= 5; obj++ {
+					want := covered[k][probe{inv, obj}]
+					if _, got := p.ShouldUndo(inv, obj, k); got != want {
+						t.Fatalf("seed %d: ShouldUndo(t%d, %d, %d) = %v, want %v", seed, inv, obj, k, got, want)
+					}
+				}
+			}
+		}
+		for k := range inScope {
+			if !visited[k] {
+				t.Fatalf("seed %d: in-scope position %d never visited", seed, k)
+			}
+		}
+		if p.ClusterSize() != 0 {
+			t.Fatalf("seed %d: cluster not drained", seed)
+		}
+	}
+}
+
+func TestPlannerIgnoresDegenerateScopes(t *testing.T) {
+	p := NewPlanner([]Scope{
+		{Object: 1, Invoker: 1, First: wal.NilLSN, Last: 5},
+		{Object: 2, Invoker: 1, First: 9, Last: 5}, // inverted
+	})
+	if k, ok := p.Next(); ok {
+		t.Fatalf("degenerate scopes yielded %d", k)
+	}
+}

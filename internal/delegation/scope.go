@@ -1,0 +1,230 @@
+// Package delegation implements the volatile data structures of the
+// paper's RH ("rewrite history") algorithm (§3.4): update scopes, the
+// per-transaction object lists that carry them, and the backward-pass
+// machinery — the loser-scope priority queue and the cluster sweep of
+// §3.6.2 (Figures 7 and 8).
+//
+// A scope (invoker, firstLSN, lastLSN) covers the updates to one object
+// that were invoked by one transaction within an LSN range and whose fate
+// travels together under delegation.  The dual views of §2.1.1 —
+// ResponsibleTr(update) and Op_List(t) — are both computable from the
+// scopes, which is exactly why the paper stores them: responsibility can
+// be tracked without touching the log.
+//
+// Scope discipline.  A transaction extends at most one ACTIVE scope per
+// object — the one opened by its first update since it began or since it
+// last delegated the object.  Scopes received through delegation are
+// CLOSED: they are never extended or merged, only carried.  Two scopes
+// with the same invoking transaction therefore cover disjoint LSN ranges
+// (the invoker's active scope closed before the next one opened), which is
+// the invariant the backward pass relies on: a log position is covered by
+// a scope if and only if the update there belongs to that scope's
+// responsibility thread.  (The paper's §3.5 remark instead states that
+// same-invoker scopes never co-occur in one entry; we allow them — they
+// arise when responsibility threads reunite via delegation chains — and
+// rely on range disjointness, which is strictly safer than merging:
+// merging two same-invoker ranges could swallow an intervening update that
+// was delegated to a third transaction.)
+package delegation
+
+import (
+	"fmt"
+	"sort"
+
+	"ariesrh/internal/wal"
+)
+
+// Scope covers the updates to Object invoked by Invoker with LSNs in
+// [First, Last].  The transaction whose Ob_List holds the scope is
+// responsible for those updates (it invoked them, or received them through
+// a chain of delegations).
+type Scope struct {
+	// Object is the object the covered updates touched.
+	Object wal.ObjectID
+	// Invoker is the transaction that physically performed the updates
+	// (the paper's "invoking transaction"; the log records carry its ID).
+	Invoker wal.TxID
+	// First and Last bound the LSNs of the covered updates, inclusive.
+	First wal.LSN
+	Last  wal.LSN
+	// Owner is the transaction currently responsible for the covered
+	// updates.  Inside an ObList it is implied by the containing list
+	// and left as NilTx; OwnedScopes stamps it when scopes are pulled
+	// out to build LsrScopes, so the backward pass can attribute
+	// compensation log records to the right loser.
+	Owner wal.TxID
+}
+
+// Contains reports whether lsn falls inside the scope.
+func (s Scope) Contains(lsn wal.LSN) bool { return s.First <= lsn && lsn <= s.Last }
+
+// String renders the scope like the paper's figures: "(t0, 5, 9) on 7".
+func (s Scope) String() string {
+	return fmt.Sprintf("(t%d, %d, %d) on %d", s.Invoker, s.First, s.Last, s.Object)
+}
+
+// Entry is the per-object record inside a transaction's Ob_List (Figure 5).
+type Entry struct {
+	// Deleg is the transaction that delegated the object to the owner,
+	// or NilTx if the owner put it in its own list by updating.
+	Deleg wal.TxID
+	// Active is the scope the owner is currently extending with its own
+	// updates (Invoker == owner), valid when HasActive.  It closes —
+	// moves to Closed — when the owner delegates the object.
+	HasActive bool
+	Active    Scope
+	// Closed are scopes no longer extended: received through delegation,
+	// or the owner's own scopes from before a round-trip delegation.
+	Closed []Scope
+}
+
+// Scopes returns all scopes in the entry (closed ones first, then the
+// active one).
+func (e *Entry) Scopes() []Scope {
+	out := append([]Scope(nil), e.Closed...)
+	if e.HasActive {
+		out = append(out, e.Active)
+	}
+	return out
+}
+
+func (e *Entry) clone() *Entry {
+	return &Entry{
+		Deleg:     e.Deleg,
+		HasActive: e.HasActive,
+		Active:    e.Active,
+		Closed:    append([]Scope(nil), e.Closed...),
+	}
+}
+
+// ObList is a transaction's object list: the objects holding updates the
+// transaction is currently responsible for.  Methods are not synchronized;
+// the owning engine serializes access.
+type ObList struct {
+	m map[wal.ObjectID]*Entry
+}
+
+// NewObList returns an empty object list.
+func NewObList() *ObList { return &ObList{m: make(map[wal.ObjectID]*Entry)} }
+
+// Has reports whether the list contains obj — the well-formedness test of
+// delegate(t1, t2, ob) in §3.5 (ResponsibleTr(update[ob]) = t1).
+func (o *ObList) Has(obj wal.ObjectID) bool {
+	_, ok := o.m[obj]
+	return ok
+}
+
+// Entry returns the entry for obj, or nil.
+func (o *ObList) Entry(obj wal.ObjectID) *Entry { return o.m[obj] }
+
+// Len returns the number of objects in the list.
+func (o *ObList) Len() int { return len(o.m) }
+
+// Objects returns the object IDs in the list, sorted.
+func (o *ObList) Objects() []wal.ObjectID {
+	out := make([]wal.ObjectID, 0, len(o.m))
+	for obj := range o.m {
+		out = append(out, obj)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RecordUpdate adjusts scopes for update[owner, obj] logged at lsn (§3.5,
+// step ADJUST SCOPES): the owner's active scope on obj extends to lsn; if
+// there is none (first update since begin, or since the owner last
+// delegated obj) a new active scope [lsn, lsn] opens.
+func (o *ObList) RecordUpdate(owner wal.TxID, obj wal.ObjectID, lsn wal.LSN) {
+	e, ok := o.m[obj]
+	if !ok {
+		e = &Entry{}
+		o.m[obj] = e
+	}
+	if e.HasActive {
+		if lsn > e.Active.Last {
+			e.Active.Last = lsn
+		}
+		return
+	}
+	e.HasActive = true
+	e.Active = Scope{Object: obj, Invoker: owner, First: lsn, Last: lsn}
+}
+
+// DelegateTo transfers this list's entry for obj into dst (§3.5, step
+// TRANSFER RESPONSIBILITY): the delegator's active scope closes, all
+// scopes move into dst's entry as closed scopes (dst's own active scope,
+// if any, is untouched), the delegator is recorded, and the entry is
+// removed from the delegator's list.  It returns false if obj is not in
+// the list (ill-formed delegation).
+func (o *ObList) DelegateTo(dst *ObList, from wal.TxID, obj wal.ObjectID) bool {
+	src, ok := o.m[obj]
+	if !ok {
+		return false
+	}
+	d, ok := dst.m[obj]
+	if !ok {
+		d = &Entry{}
+		dst.m[obj] = d
+	}
+	d.Deleg = from
+	d.Closed = append(d.Closed, src.Closed...)
+	if src.HasActive {
+		d.Closed = append(d.Closed, src.Active)
+	}
+	delete(o.m, obj)
+	return true
+}
+
+// AllScopes returns every scope in the list, ordered by object, then
+// invoker, then first LSN (deterministic for tests and checkpoint
+// encoding).
+func (o *ObList) AllScopes() []Scope {
+	var out []Scope
+	for _, obj := range o.Objects() {
+		scopes := o.m[obj].Scopes()
+		sort.Slice(scopes, func(i, j int) bool {
+			if scopes[i].Invoker != scopes[j].Invoker {
+				return scopes[i].Invoker < scopes[j].Invoker
+			}
+			return scopes[i].First < scopes[j].First
+		})
+		out = append(out, scopes...)
+	}
+	return out
+}
+
+// OwnedScopes returns every scope in the list with Owner stamped to owner,
+// the form the backward pass's LsrScopes is built from.
+func (o *ObList) OwnedScopes(owner wal.TxID) []Scope {
+	scopes := o.AllScopes()
+	for i := range scopes {
+		scopes[i].Owner = owner
+	}
+	return scopes
+}
+
+// MinFirst returns the smallest First across all scopes (the minLSN used
+// by abort processing in §3.5), or NilLSN if the list is empty.
+func (o *ObList) MinFirst() wal.LSN {
+	min := wal.NilLSN
+	for _, e := range o.m {
+		for _, s := range e.Scopes() {
+			if min == wal.NilLSN || s.First < min {
+				min = s.First
+			}
+		}
+	}
+	return min
+}
+
+// Clone deep-copies the list.
+func (o *ObList) Clone() *ObList {
+	c := NewObList()
+	for obj, e := range o.m {
+		c.m[obj] = e.clone()
+	}
+	return c
+}
+
+// SetEntry installs an entry directly (checkpoint decoding).
+func (o *ObList) SetEntry(obj wal.ObjectID, e *Entry) { o.m[obj] = e }

@@ -1,0 +1,209 @@
+package eos
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ariesrh/internal/wal"
+)
+
+// eosOracle models EOS semantics directly: per-transaction pending
+// overlays, delegation as image hand-over + filtering, commit as publish
+// in commit order, abort/crash as discard.
+type eosOracle struct {
+	db      map[wal.ObjectID][]byte
+	pending map[int]map[wal.ObjectID][]byte // slot → overlay (insertion order irrelevant: last value per object wins)
+	order   map[int][]wal.ObjectID          // publish order per slot
+}
+
+func newEOSOracle() *eosOracle {
+	return &eosOracle{
+		db:      map[wal.ObjectID][]byte{},
+		pending: map[int]map[wal.ObjectID][]byte{},
+		order:   map[int][]wal.ObjectID{},
+	}
+}
+
+func (o *eosOracle) begin(slot int) {
+	o.pending[slot] = map[wal.ObjectID][]byte{}
+	o.order[slot] = nil
+}
+
+func (o *eosOracle) view(slot int, obj wal.ObjectID) []byte {
+	if v, ok := o.pending[slot][obj]; ok {
+		return v
+	}
+	return o.db[obj]
+}
+
+func (o *eosOracle) update(slot int, obj wal.ObjectID, val []byte) {
+	if _, seen := o.pending[slot][obj]; !seen {
+		o.order[slot] = append(o.order[slot], obj)
+	}
+	o.pending[slot][obj] = append([]byte(nil), val...)
+}
+
+func (o *eosOracle) delegate(tor, tee int, obj wal.ObjectID) {
+	image := o.view(tor, obj)
+	// Filter from the delegator...
+	delete(o.pending[tor], obj)
+	kept := o.order[tor][:0]
+	for _, ob := range o.order[tor] {
+		if ob != obj {
+			kept = append(kept, ob)
+		}
+	}
+	o.order[tor] = kept
+	// ...image to the delegatee.
+	o.update(tee, obj, image)
+}
+
+func (o *eosOracle) commit(slot int) {
+	for _, obj := range o.order[slot] {
+		o.db[obj] = o.pending[slot][obj]
+	}
+	delete(o.pending, slot)
+	delete(o.order, slot)
+}
+
+func (o *eosOracle) abort(slot int) {
+	delete(o.pending, slot)
+	delete(o.order, slot)
+}
+
+// TestEOSRandomTracesMatchOracle replays random legal EOS histories and
+// compares committed state (and per-transaction views) with the oracle,
+// including after a crash+recover at the end.
+func TestEOSRandomTracesMatchOracle(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		e := newEng(t)
+		oracle := newEOSOracle()
+		ids := map[int]wal.TxID{}
+		responsible := map[int]map[wal.ObjectID]bool{}
+		holders := map[wal.ObjectID]map[int]bool{}
+		var live []int
+		nextSlot := 0
+
+		beginSlot := func() {
+			id, err := e.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[nextSlot] = id
+			responsible[nextSlot] = map[wal.ObjectID]bool{}
+			oracle.begin(nextSlot)
+			live = append(live, nextSlot)
+			nextSlot++
+		}
+		removeLive := func(slot int) {
+			for i, s := range live {
+				if s == slot {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+			for _, hs := range holders {
+				delete(hs, slot)
+			}
+		}
+
+		for step := 0; step < 150; step++ {
+			if len(live) == 0 || (len(live) < 4 && rng.Intn(5) == 0) {
+				beginSlot()
+				continue
+			}
+			slot := live[rng.Intn(len(live))]
+			switch rng.Intn(10) {
+			case 0: // commit
+				if err := e.Commit(ids[slot]); err != nil {
+					t.Fatal(err)
+				}
+				oracle.commit(slot)
+				removeLive(slot)
+			case 1: // abort
+				if err := e.Abort(ids[slot]); err != nil {
+					t.Fatal(err)
+				}
+				oracle.abort(slot)
+				removeLive(slot)
+			case 2: // delegate
+				var objs []wal.ObjectID
+				for obj := range responsible[slot] {
+					objs = append(objs, obj)
+				}
+				if len(objs) == 0 || len(live) < 2 {
+					continue
+				}
+				// smallest object for determinism
+				min := objs[0]
+				for _, o := range objs[1:] {
+					if o < min {
+						min = o
+					}
+				}
+				tee := live[rng.Intn(len(live))]
+				if tee == slot {
+					continue
+				}
+				if err := e.Delegate(ids[slot], ids[tee], min); err != nil {
+					t.Fatal(err)
+				}
+				oracle.delegate(slot, tee, min)
+				delete(responsible[slot], min)
+				responsible[tee][min] = true
+				if holders[min] == nil {
+					holders[min] = map[int]bool{}
+				}
+				holders[min][tee] = true
+			default: // update (lock-safe)
+				obj := wal.ObjectID(rng.Intn(20) + 1)
+				if hs := holders[obj]; len(hs) > 0 && !hs[slot] {
+					continue
+				}
+				val := []byte(fmt.Sprintf("s%d-%d", seed, step))
+				if err := e.Update(ids[slot], obj, val); err != nil {
+					t.Fatal(err)
+				}
+				oracle.update(slot, obj, val)
+				responsible[slot][obj] = true
+				if holders[obj] == nil {
+					holders[obj] = map[int]bool{}
+				}
+				holders[obj][slot] = true
+				// Views must match.
+				got, err := e.Read(ids[slot], obj)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, oracle.view(slot, obj)) {
+					t.Fatalf("seed %d step %d: view %q, oracle %q", seed, step, got, oracle.view(slot, obj))
+				}
+			}
+		}
+		// Crash: live transactions vanish (oracle: abort them).
+		for _, slot := range live {
+			oracle.abort(slot)
+		}
+		if err := e.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		for obj := wal.ObjectID(1); obj <= 20; obj++ {
+			want := oracle.db[obj]
+			got, ok, err := e.ReadObject(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotPresent := ok && len(got) > 0
+			wantPresent := len(want) > 0
+			if gotPresent != wantPresent || (wantPresent && !bytes.Equal(got, want)) {
+				t.Fatalf("seed %d: object %d = %q (present=%v), want %q", seed, obj, got, gotPresent, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package lock implements a strict two-phase-locking lock manager with
+// shared/exclusive object locks, FIFO waiting, wait-for-graph deadlock
+// detection, and lock transfer.
+//
+// Lock transfer supports delegation: when t1 delegates an object to t2, the
+// delegatee inherits the delegator's lock on it so the delegated updates
+// stay protected until their (new) responsible transaction terminates —
+// this is the lock-manager half of the paper's "broadening of visibility".
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"ariesrh/internal/wal"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+	// Increment permits concurrent commutative increments: Increment is
+	// compatible with Increment but conflicts with Shared and Exclusive
+	// (readers must not observe half-applied counter groups; writers
+	// must not overwrite concurrently incremented counters).
+	Increment
+)
+
+// String returns "S", "X" or "I".
+func (m Mode) String() string {
+	switch m {
+	case Exclusive:
+		return "X"
+	case Increment:
+		return "I"
+	default:
+		return "S"
+	}
+}
+
+// compatibleModes reports whether two holders may coexist.
+func compatibleModes(a, b Mode) bool {
+	return (a == Shared && b == Shared) || (a == Increment && b == Increment)
+}
+
+// combineModes returns the mode a single transaction holds after being
+// granted next while already holding cur: equal modes stay; any
+// combination involving Exclusive — or the incomparable pair
+// Shared+Increment — escalates to Exclusive, so peers that would conflict
+// with either constituent stay excluded.
+func combineModes(cur, next Mode) Mode {
+	if cur == next {
+		return cur
+	}
+	return Exclusive
+}
+
+// ErrDeadlock is returned to a requester whose wait would close a cycle in
+// the wait-for graph; the requester is the victim and should abort.
+var ErrDeadlock = errors.New("lock: deadlock")
+
+type request struct {
+	tx   wal.TxID
+	mode Mode
+}
+
+type lockState struct {
+	// holders maps each holding transaction to its granted mode.
+	holders map[wal.TxID]Mode
+	queue   []request
+}
+
+// Manager is the lock manager.  All methods are safe for concurrent use;
+// Acquire blocks the calling goroutine until the lock is granted or the
+// request is chosen as a deadlock victim.
+type Manager struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	locks map[wal.ObjectID]*lockState
+	// held tracks, per transaction, the objects it holds locks on.
+	held map[wal.TxID]map[wal.ObjectID]struct{}
+	// waitsFor maps a blocked transaction to the transactions it waits on.
+	waitsFor map[wal.TxID]map[wal.TxID]struct{}
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	m := &Manager{
+		locks:    make(map[wal.ObjectID]*lockState),
+		held:     make(map[wal.TxID]map[wal.ObjectID]struct{}),
+		waitsFor: make(map[wal.TxID]map[wal.TxID]struct{}),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *Manager) state(obj wal.ObjectID) *lockState {
+	ls, ok := m.locks[obj]
+	if !ok {
+		ls = &lockState{holders: make(map[wal.TxID]Mode)}
+		m.locks[obj] = ls
+	}
+	return ls
+}
+
+// Acquire grants tx a mode lock on obj, blocking while incompatible locks
+// are held.  Re-acquisition is a no-op when the held mode already covers
+// the request; a Shared→Exclusive upgrade waits for other holders to leave.
+// Returns ErrDeadlock if waiting would complete a wait-for cycle; the
+// caller should abort tx.
+func (m *Manager) Acquire(tx wal.TxID, obj wal.ObjectID, mode Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.state(obj)
+	if hm, ok := ls.holders[tx]; ok && (hm == Exclusive || hm == mode) {
+		return nil // already covered
+	}
+	ls.queue = append(ls.queue, request{tx: tx, mode: mode})
+	for !m.isGrantableLocked(ls, tx, mode) {
+		m.recordWaitsLocked(ls, tx, mode)
+		if m.hasCycleLocked(tx) {
+			m.removeRequestLocked(ls, tx, mode)
+			delete(m.waitsFor, tx)
+			m.cond.Broadcast()
+			return fmt.Errorf("%w: transaction %d victimized on object %d", ErrDeadlock, tx, obj)
+		}
+		m.cond.Wait()
+	}
+	delete(m.waitsFor, tx)
+	m.removeRequestLocked(ls, tx, mode)
+	if cur, ok := ls.holders[tx]; ok {
+		ls.holders[tx] = combineModes(cur, mode)
+	} else {
+		ls.holders[tx] = mode
+	}
+	if m.held[tx] == nil {
+		m.held[tx] = make(map[wal.ObjectID]struct{})
+	}
+	m.held[tx][obj] = struct{}{}
+	m.cond.Broadcast()
+	return nil
+}
+
+// compatibleLocked reports whether tx may hold mode alongside the current
+// holders of ls.
+func (m *Manager) compatibleLocked(ls *lockState, tx wal.TxID, mode Mode) bool {
+	for holder, hm := range ls.holders {
+		if holder == tx {
+			continue
+		}
+		if !compatibleModes(hm, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// isGrantableLocked applies FIFO granting: tx's request may be granted only
+// if it is compatible with holders and not queued behind an incompatible
+// earlier request (avoids writer starvation).  Upgrades (tx already a
+// holder) bypass the queue-order check, else they could deadlock on their
+// own queue position.
+func (m *Manager) isGrantableLocked(ls *lockState, tx wal.TxID, mode Mode) bool {
+	if !m.compatibleLocked(ls, tx, mode) {
+		return false
+	}
+	if _, holder := ls.holders[tx]; holder {
+		return true
+	}
+	for _, q := range ls.queue {
+		if q.tx == tx && q.mode == mode {
+			return true
+		}
+		if !compatibleModes(q.mode, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) removeRequestLocked(ls *lockState, tx wal.TxID, mode Mode) {
+	for i, q := range ls.queue {
+		if q.tx == tx && q.mode == mode {
+			ls.queue = append(ls.queue[:i], ls.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// recordWaitsLocked updates tx's wait-for edges: tx waits on incompatible
+// holders and on earlier incompatible queued requests.
+func (m *Manager) recordWaitsLocked(ls *lockState, tx wal.TxID, mode Mode) {
+	edges := make(map[wal.TxID]struct{})
+	for holder, hm := range ls.holders {
+		if holder == tx {
+			continue
+		}
+		if !compatibleModes(hm, mode) {
+			edges[holder] = struct{}{}
+		}
+	}
+	for _, q := range ls.queue {
+		if q.tx == tx {
+			break
+		}
+		if !compatibleModes(q.mode, mode) {
+			edges[q.tx] = struct{}{}
+		}
+	}
+	m.waitsFor[tx] = edges
+}
+
+// hasCycleLocked reports whether the wait-for graph contains a cycle
+// through start.
+func (m *Manager) hasCycleLocked(start wal.TxID) bool {
+	seen := make(map[wal.TxID]bool)
+	var dfs func(tx wal.TxID) bool
+	dfs = func(tx wal.TxID) bool {
+		for next := range m.waitsFor[tx] {
+			if next == start {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				if dfs(next) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(start)
+}
+
+// Share grants to a co-hold on obj at the mode from holds, without
+// revoking from's own hold.  This is the lock-manager effect of delegation
+// (and of ASSET's permit): the delegatee gains access to the delegated
+// object — broadening its visibility — while the delegator may keep
+// operating on it, which the paper explicitly allows (§2.1.2: a
+// transaction can perform operations on an object even after delegating
+// it).  Third parties still conflict as usual.  Each co-holder's
+// termination releases only its own hold.
+func (m *Manager) Share(from, to wal.TxID, obj wal.ObjectID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.state(obj)
+	fm, ok := ls.holders[from]
+	if !ok {
+		return fmt.Errorf("lock: share of object %d from t%d which holds no lock", obj, from)
+	}
+	if tm, held := ls.holders[to]; held {
+		ls.holders[to] = combineModes(tm, fm)
+	} else {
+		ls.holders[to] = fm
+	}
+	if m.held[to] == nil {
+		m.held[to] = make(map[wal.ObjectID]struct{})
+	}
+	m.held[to][obj] = struct{}{}
+	m.cond.Broadcast()
+	return nil
+}
+
+// Transfer moves transaction from's lock on obj to to, as part of a
+// delegation.  If the delegatee already holds a lock on obj the stronger
+// mode wins.  It is an error for from not to hold a lock on obj.
+func (m *Manager) Transfer(from, to wal.TxID, obj wal.ObjectID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.state(obj)
+	fm, ok := ls.holders[from]
+	if !ok {
+		return fmt.Errorf("lock: transfer of object %d from t%d which holds no lock", obj, from)
+	}
+	delete(ls.holders, from)
+	if m.held[from] != nil {
+		delete(m.held[from], obj)
+	}
+	if tm, held := ls.holders[to]; held {
+		ls.holders[to] = combineModes(tm, fm)
+	} else {
+		ls.holders[to] = fm
+	}
+	if m.held[to] == nil {
+		m.held[to] = make(map[wal.ObjectID]struct{})
+	}
+	m.held[to][obj] = struct{}{}
+	m.cond.Broadcast()
+	return nil
+}
+
+// ReleaseAll drops every lock held by tx (transaction termination under
+// strict 2PL) and wakes waiters.
+func (m *Manager) ReleaseAll(tx wal.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for obj := range m.held[tx] {
+		if ls, ok := m.locks[obj]; ok {
+			delete(ls.holders, tx)
+			if len(ls.holders) == 0 && len(ls.queue) == 0 {
+				delete(m.locks, obj)
+			}
+		}
+	}
+	delete(m.held, tx)
+	delete(m.waitsFor, tx)
+	m.cond.Broadcast()
+}
+
+// Holds reports the mode tx holds on obj, if any.
+func (m *Manager) Holds(tx wal.TxID, obj wal.ObjectID) (Mode, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.locks[obj]
+	if !ok {
+		return 0, false
+	}
+	mode, ok := ls.holders[tx]
+	return mode, ok
+}
+
+// Reset discards all lock state (crash simulation: locks are volatile).
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.locks = make(map[wal.ObjectID]*lockState)
+	m.held = make(map[wal.TxID]map[wal.ObjectID]struct{})
+	m.waitsFor = make(map[wal.TxID]map[wal.TxID]struct{})
+	m.cond.Broadcast()
+}

@@ -1,0 +1,129 @@
+// Package storage implements the stable database storage the recovery
+// engines operate on: fixed-size slotted pages holding object records, and
+// disk managers (in-memory and file-backed) that persist them.
+//
+// Updates are done in place on the updated object (paper §2.1.1), so each
+// object occupies a fixed slot on a fixed page once allocated; the physical
+// before/after images in the WAL address objects, and the object directory
+// (internal/object) maps ObjectID → (page, slot).
+//
+// Each page carries a pageLSN — the LSN of the last log record whose change
+// is reflected in the page — which makes redo idempotent: a redo is applied
+// only when the record's LSN exceeds the pageLSN.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"ariesrh/internal/wal"
+)
+
+// PageID identifies a page.  Pages are numbered densely from 0.
+type PageID uint32
+
+// Geometry of the page format.
+const (
+	// PageSize is the size of a page on disk in bytes.
+	PageSize = 4096
+	// MaxValueSize is the largest object value storable in a slot.
+	MaxValueSize = 112
+	// slotSize = used flag + object id + value length + value bytes.
+	slotSize = 1 + 8 + 2 + MaxValueSize
+	// pageHeaderSize = pageLSN + crc + slot count.
+	pageHeaderSize = 8 + 4 + 2
+	// SlotsPerPage is the number of object slots on each page.
+	SlotsPerPage = (PageSize - pageHeaderSize) / slotSize
+)
+
+// Slot holds one object record inside a page.
+type Slot struct {
+	// Used reports whether the slot holds an object.
+	Used bool
+	// Object is the ID of the stored object.
+	Object wal.ObjectID
+	// Value is the object's current value (≤ MaxValueSize bytes).
+	Value []byte
+}
+
+// Page is the in-memory form of a disk page.
+type Page struct {
+	// LSN is the pageLSN: the LSN of the last record applied to the page.
+	LSN wal.LSN
+	// Slots are the object records.
+	Slots [SlotsPerPage]Slot
+}
+
+// FreeSlot returns the index of an unused slot, or -1 if the page is full.
+func (p *Page) FreeSlot() int {
+	for i := range p.Slots {
+		if !p.Slots[i].Used {
+			return i
+		}
+	}
+	return -1
+}
+
+// Marshal serializes the page into a PageSize-byte buffer with a checksum
+// over the payload.
+func (p *Page) Marshal() ([]byte, error) {
+	buf := make([]byte, PageSize)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(p.LSN))
+	binary.LittleEndian.PutUint16(buf[12:], uint16(SlotsPerPage))
+	off := pageHeaderSize
+	for i := range p.Slots {
+		s := &p.Slots[i]
+		if len(s.Value) > MaxValueSize {
+			return nil, fmt.Errorf("storage: slot %d value %d bytes exceeds max %d", i, len(s.Value), MaxValueSize)
+		}
+		if s.Used {
+			buf[off] = 1
+		}
+		binary.LittleEndian.PutUint64(buf[off+1:], uint64(s.Object))
+		binary.LittleEndian.PutUint16(buf[off+9:], uint16(len(s.Value)))
+		copy(buf[off+11:], s.Value)
+		off += slotSize
+	}
+	sum := crc32.ChecksumIEEE(buf[12:]) // everything after the crc field
+	binary.LittleEndian.PutUint32(buf[8:], sum)
+	return buf, nil
+}
+
+// UnmarshalPage parses a PageSize-byte buffer produced by Marshal.
+func UnmarshalPage(buf []byte) (*Page, error) {
+	if len(buf) != PageSize {
+		return nil, fmt.Errorf("storage: page buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	sum := binary.LittleEndian.Uint32(buf[8:])
+	if crc32.ChecksumIEEE(buf[12:]) != sum {
+		return nil, fmt.Errorf("storage: page checksum mismatch")
+	}
+	if n := binary.LittleEndian.Uint16(buf[12:]); int(n) != SlotsPerPage {
+		return nil, fmt.Errorf("storage: page has %d slots, want %d", n, SlotsPerPage)
+	}
+	p := &Page{LSN: wal.LSN(binary.LittleEndian.Uint64(buf[0:]))}
+	off := pageHeaderSize
+	for i := range p.Slots {
+		s := &p.Slots[i]
+		s.Used = buf[off] == 1
+		s.Object = wal.ObjectID(binary.LittleEndian.Uint64(buf[off+1:]))
+		n := int(binary.LittleEndian.Uint16(buf[off+9:]))
+		if n > MaxValueSize {
+			return nil, fmt.Errorf("storage: slot %d declares %d value bytes", i, n)
+		}
+		s.Value = append([]byte(nil), buf[off+11:off+11+n]...)
+		off += slotSize
+	}
+	return p, nil
+}
+
+// Clone deep-copies the page.
+func (p *Page) Clone() *Page {
+	c := &Page{LSN: p.LSN}
+	for i := range p.Slots {
+		c.Slots[i] = p.Slots[i]
+		c.Slots[i].Value = append([]byte(nil), p.Slots[i].Value...)
+	}
+	return c
+}

@@ -1,0 +1,119 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+
+	"ariesrh/internal/wal"
+)
+
+func TestBeginAssignsFreshIDs(t *testing.T) {
+	tab := NewTable()
+	a := tab.Begin()
+	b := tab.Begin()
+	if a.ID == b.ID || a.ID == wal.NilTx || b.ID == wal.NilTx {
+		t.Fatalf("ids: %d %d", a.ID, b.ID)
+	}
+	if a.Status != Active {
+		t.Fatalf("status = %v", a.Status)
+	}
+}
+
+func TestRegisterIdempotentAndAdvancesNext(t *testing.T) {
+	tab := NewTable()
+	info := tab.Register(10)
+	if again := tab.Register(10); again != info {
+		t.Fatal("re-register returned a new entry")
+	}
+	if next := tab.Begin(); next.ID != 11 {
+		t.Fatalf("begin after register(10) gave %d", next.ID)
+	}
+}
+
+func TestGetRemove(t *testing.T) {
+	tab := NewTable()
+	a := tab.Begin()
+	if tab.Get(a.ID) != a {
+		t.Fatal("get missed")
+	}
+	tab.Remove(a.ID)
+	if tab.Get(a.ID) != nil {
+		t.Fatal("removed entry still present")
+	}
+	if tab.Get(999) != nil {
+		t.Fatal("unknown id returned an entry")
+	}
+}
+
+func TestSnapshotOrderedCopies(t *testing.T) {
+	tab := NewTable()
+	tab.Register(3)
+	tab.Register(1)
+	tab.Register(2)
+	snap := tab.Snapshot()
+	if len(snap) != 3 || snap[0].ID != 1 || snap[1].ID != 2 || snap[2].ID != 3 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	snap[0].LastLSN = 999
+	if tab.Get(1).LastLSN == 999 {
+		t.Fatal("snapshot aliases table entries")
+	}
+}
+
+func TestActiveFiltersByStatus(t *testing.T) {
+	tab := NewTable()
+	a := tab.Begin()
+	b := tab.Begin()
+	c := tab.Begin()
+	b.Status = Committed
+	c.Status = Aborted
+	act := tab.Active()
+	if len(act) != 1 || act[0] != a.ID {
+		t.Fatalf("active = %v", act)
+	}
+}
+
+func TestResetSeedsNextID(t *testing.T) {
+	tab := NewTable()
+	tab.Begin()
+	tab.Reset(100)
+	if tab.Len() != 0 {
+		t.Fatal("reset kept entries")
+	}
+	if got := tab.Begin().ID; got != 100 {
+		t.Fatalf("post-reset id = %d", got)
+	}
+	tab.Reset(0)
+	if got := tab.Begin().ID; got != 1 {
+		t.Fatalf("reset(0) id = %d", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Active.String() != "active" || Committed.String() != "committed" || Aborted.String() != "aborted" {
+		t.Fatal("status names")
+	}
+}
+
+func TestConcurrentBegin(t *testing.T) {
+	tab := NewTable()
+	const n = 200
+	ids := make(chan wal.TxID, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ids <- tab.Begin().ID
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[wal.TxID]bool)
+	for id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}

@@ -1,0 +1,159 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArchiveBasic(t *testing.T) {
+	store := NewMemStore()
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	if err := l.Flush(10); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore, _ := store.Size()
+	if err := l.Archive(6); err != nil {
+		t.Fatal(err)
+	}
+	sizeAfter, _ := store.Size()
+	if sizeAfter >= sizeBefore {
+		t.Fatalf("device did not shrink: %d -> %d", sizeBefore, sizeAfter)
+	}
+	if l.Base() != 6 || l.Head() != 10 {
+		t.Fatalf("base=%d head=%d", l.Base(), l.Head())
+	}
+	// Archived records are gone; surviving ones intact.
+	if _, err := l.Get(6); !errors.Is(err, ErrArchived) {
+		t.Fatalf("Get(6) err = %v", err)
+	}
+	for lsn := LSN(7); lsn <= 10; lsn++ {
+		r, err := l.Get(lsn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.LSN != lsn || r.Object != ObjectID(lsn) {
+			t.Fatalf("record %d = %+v", lsn, r)
+		}
+	}
+	// LSNs keep counting from where they were.
+	lsn := mustAppend(t, l, &Record{Type: TypeCommit, TxID: 1, PrevLSN: 10})
+	if lsn != 11 {
+		t.Fatalf("post-archive append lsn = %d", lsn)
+	}
+}
+
+func TestArchiveSurvivesReopenAndCrash(t *testing.T) {
+	store := NewMemStore()
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	if err := l.Flush(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Archive(5); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 9}) // LSN 9, unflushed
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != 5 || l.Head() != 8 {
+		t.Fatalf("after crash: base=%d head=%d", l.Base(), l.Head())
+	}
+	// Fresh Log over the same device.
+	l2, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Base() != 5 || l2.Head() != 8 {
+		t.Fatalf("reopen: base=%d head=%d", l2.Base(), l2.Head())
+	}
+	r, err := l2.Get(7)
+	if err != nil || r.Object != 7 {
+		t.Fatalf("Get(7) = %+v, %v", r, err)
+	}
+}
+
+func TestArchiveRejectsUnflushed(t *testing.T) {
+	l := newMemLog(t)
+	mustAppend(t, l, &Record{Type: TypeBegin, TxID: 1})
+	mustAppend(t, l, &Record{Type: TypeCommit, TxID: 1, PrevLSN: 1})
+	if err := l.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Archive(2); err == nil {
+		t.Fatal("archiving past the flushed LSN accepted")
+	}
+	if err := l.Archive(1); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent / monotone.
+	if err := l.Archive(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Archive(0); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != 1 {
+		t.Fatalf("base = %d", l.Base())
+	}
+}
+
+func TestArchiveThenScanStartsAfterBase(t *testing.T) {
+	l := newMemLog(t)
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	if err := l.Flush(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Archive(3); err != nil {
+		t.Fatal(err)
+	}
+	var seen []ObjectID
+	if err := l.Scan(NilLSN, NilLSN, func(r *Record) (bool, error) {
+		seen = append(seen, r.Object)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen[0] != 4 || seen[2] != 6 {
+		t.Fatalf("scan = %v", seen)
+	}
+}
+
+func TestArchiveRewriteOfArchivedRejected(t *testing.T) {
+	l := newMemLog(t)
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 1})
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 2})
+	if err := l.Flush(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Archive(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Rewrite(1, func(r *Record) { r.TxID = 2 }); !errors.Is(err, ErrArchived) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := l.Rewrite(2, func(r *Record) { r.TxID = 2 }); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: the rewritten stable record keeps the patch.
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.Get(2)
+	if err != nil || r.TxID != 2 {
+		t.Fatalf("Get(2) = %+v, %v", r, err)
+	}
+}

@@ -1,0 +1,93 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkEncodeUpdateRecord(b *testing.B) {
+	r := &Record{Type: TypeUpdate, LSN: 42, TxID: 7, PrevLSN: 41, Object: 9,
+		Before: []byte("before-image-value"), After: []byte("after-image-value")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := EncodeRecord(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeUpdateRecord(b *testing.B) {
+	r := &Record{Type: TypeUpdate, LSN: 42, TxID: 7, PrevLSN: 41, Object: 9,
+		Before: []byte("before-image-value"), After: []byte("after-image-value")}
+	enc, err := EncodeRecord(r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeRecord(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogAppend(b *testing.B) {
+	l, err := NewLog(NewMemStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &Record{Type: TypeUpdate, TxID: 1, Object: 5, After: []byte("value")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLogAppendFlushEvery(b *testing.B) {
+	for _, every := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("flush-%d", every), func(b *testing.B) {
+			l, err := NewLog(NewMemStore())
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := &Record{Type: TypeUpdate, TxID: 1, Object: 5, After: []byte("value")}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lsn, err := l.Append(r)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i%every == 0 {
+					if err := l.Flush(lsn); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLogBackwardSweep(b *testing.B) {
+	l, err := NewLog(NewMemStore())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(&Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for lsn := LSN(n); lsn >= 1; lsn-- {
+			if _, err := l.Get(lsn); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/n, "ns/record")
+}

@@ -1,0 +1,448 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// AccessStats counts log accesses in the units the paper's efficiency
+// argument (§4.2) is phrased in.  Benchmarks snapshot and diff these.
+type AccessStats struct {
+	// Appends is the number of records appended.
+	Appends uint64
+	// Flushes is the number of Flush calls that reached the device;
+	// FlushedBytes the bytes they wrote.
+	Flushes      uint64
+	FlushedBytes uint64
+	// Reads counts record fetches; SequentialReads those whose LSN was
+	// adjacent to (or equal to) the previously read LSN, RandomReads the
+	// rest.  ARIES and ARIES/RH read the log strictly sequentially in
+	// each pass; the eager rewriter does not.
+	Reads           uint64
+	SequentialReads uint64
+	RandomReads     uint64
+	// Rewrites counts in-place record mutations (naïve baselines only);
+	// RewriteFlushes those that had to patch already-stable bytes.
+	Rewrites       uint64
+	RewriteFlushes uint64
+}
+
+// Sub returns the element-wise difference s - o.
+func (s AccessStats) Sub(o AccessStats) AccessStats {
+	return AccessStats{
+		Appends:         s.Appends - o.Appends,
+		Flushes:         s.Flushes - o.Flushes,
+		FlushedBytes:    s.FlushedBytes - o.FlushedBytes,
+		Reads:           s.Reads - o.Reads,
+		SequentialReads: s.SequentialReads - o.SequentialReads,
+		RandomReads:     s.RandomReads - o.RandomReads,
+		Rewrites:        s.Rewrites - o.Rewrites,
+		RewriteFlushes:  s.RewriteFlushes - o.RewriteFlushes,
+	}
+}
+
+// ErrNoSuchLSN is returned by Get for LSNs that name no record.
+var ErrNoSuchLSN = errors.New("wal: no such LSN")
+
+// ErrArchived is returned by Get/Scan for LSNs that were discarded by
+// Archive.
+var ErrArchived = errors.New("wal: record archived")
+
+// ErrRewriteSizeChanged is returned by Rewrite when the mutated record does
+// not re-encode to exactly its original size (in-place patching would
+// corrupt the frame stream).
+var ErrRewriteSizeChanged = errors.New("wal: rewrite changed record size")
+
+// logMagic heads the stable device, followed by the base LSN (the number
+// of records discarded by Archive); record frames follow.
+const logMagic uint32 = 0x57414C31 // "WAL1"
+
+const logHeaderSize = 12
+
+// Log is the write-ahead log.  It is safe for concurrent use.
+//
+// Volatile state: all appended records live in an in-memory buffer and a
+// decoded cache.  Durable state: Flush copies encoded bytes to the Store.
+// Crash discards everything past the last flush and re-opens from the
+// Store, exactly as a real system loses its in-memory log tail.
+//
+// Archive discards a stable prefix of the log (records the engine proved
+// no future recovery can need — see core.MinRequiredLSN), compacting both
+// the volatile image and the device; archived LSNs answer ErrArchived.
+type Log struct {
+	mu    sync.Mutex
+	store Store
+
+	base    LSN    // records 1..base have been archived
+	data    []byte // encoded records, volatile image (prefix mirrored in store)
+	offsets []int  // offsets[i] = byte offset (in data) of record base+i+1
+	cache   []*Record
+
+	flushedBytes int64 // bytes of data durably mirrored (excluding header)
+	flushedLSN   LSN
+
+	lastReadLSN LSN
+	stats       AccessStats
+}
+
+// NewLog creates a log on top of store, recovering any records already
+// present on the device (e.g. after a crash or a process restart).
+func NewLog(store Store) (*Log, error) {
+	l := &Log{store: store}
+	if err := l.loadFromStore(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// writeHeader persists the device header (magic + base LSN).
+func (l *Log) writeHeader() error {
+	var hdr [logHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(l.base))
+	if _, err := l.store.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("wal: write header: %w", err)
+	}
+	return l.store.Sync()
+}
+
+// loadFromStore scans the stable device and rebuilds the volatile image.
+// A torn final frame (possible with a real file after a true crash) is
+// truncated away rather than reported as corruption.
+func (l *Log) loadFromStore() error {
+	size, err := l.store.Size()
+	if err != nil {
+		return fmt.Errorf("wal: size: %w", err)
+	}
+	l.base = 0
+	if size == 0 {
+		// Fresh device: stamp the header.
+		l.data = l.data[:0]
+		l.offsets = l.offsets[:0]
+		l.cache = l.cache[:0]
+		l.flushedBytes = 0
+		l.flushedLSN = 0
+		return l.writeHeader()
+	}
+	if size < logHeaderSize {
+		return fmt.Errorf("%w: device smaller than the log header", ErrCorrupt)
+	}
+	var hdr [logHeaderSize]byte
+	if _, err := l.store.ReadAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("wal: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != logMagic {
+		return fmt.Errorf("%w: bad log magic", ErrCorrupt)
+	}
+	l.base = LSN(binary.LittleEndian.Uint64(hdr[4:]))
+	body := size - logHeaderSize
+	data := make([]byte, body)
+	if body > 0 {
+		if _, err := io.ReadFull(io.NewSectionReader(l.store, logHeaderSize, body), data); err != nil {
+			return fmt.Errorf("wal: read: %w", err)
+		}
+	}
+	l.data = l.data[:0]
+	l.offsets = l.offsets[:0]
+	l.cache = l.cache[:0]
+	off := 0
+	for off < len(data) {
+		r, n, err := DecodeRecord(data[off:])
+		if err != nil {
+			if errors.Is(err, ErrTruncated) {
+				// Torn tail — the frame runs past the end of the
+				// device, the expected signature of a crash mid
+				// write.  Keep the valid prefix.
+				break
+			}
+			// A complete frame that fails its checksum (or is
+			// structurally bad) is interior corruption — bit rot
+			// or tampering, not a torn write.  Refusing to open is
+			// the only safe answer: silently truncating here would
+			// discard committed history after the bad frame.
+			return fmt.Errorf("wal: interior corruption at byte %d: %w", off, err)
+		}
+		l.offsets = append(l.offsets, off)
+		l.cache = append(l.cache, r)
+		off += n
+	}
+	l.data = append(l.data, data[:off]...)
+	l.flushedBytes = int64(off)
+	l.flushedLSN = l.base + LSN(len(l.offsets))
+	if int64(off) != body {
+		if err := l.store.Truncate(logHeaderSize + int64(off)); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	// Sanity: LSNs must be dense above the base.
+	for i, r := range l.cache {
+		if r.LSN != l.base+LSN(i+1) {
+			return fmt.Errorf("%w: record %d carries LSN %d", ErrCorrupt, int(l.base)+i+1, r.LSN)
+		}
+	}
+	return nil
+}
+
+// Append assigns the next LSN to r, encodes it and appends it to the
+// volatile log image.  The record is not durable until Flush (or a flush
+// forced by commit processing) covers it.
+func (l *Log) Append(r *Record) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r.LSN = l.base + LSN(len(l.offsets)+1)
+	enc, err := EncodeRecord(r)
+	if err != nil {
+		return NilLSN, err
+	}
+	l.offsets = append(l.offsets, len(l.data))
+	l.data = append(l.data, enc...)
+	l.cache = append(l.cache, r.clone())
+	l.stats.Appends++
+	return r.LSN, nil
+}
+
+// Head returns the LSN of the most recently appended record (NilLSN if the
+// log is empty).
+func (l *Log) Head() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + LSN(len(l.offsets))
+}
+
+// Base returns the highest archived LSN (NilLSN if nothing was archived).
+func (l *Log) Base() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// FlushedLSN returns the largest LSN known to be durable.
+func (l *Log) FlushedLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushedLSN
+}
+
+// Flush makes all records with LSN ≤ upTo durable.  Flushing past the head
+// flushes the whole log.
+func (l *Log) Flush(upTo LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if head := l.base + LSN(len(l.offsets)); upTo > head {
+		upTo = head
+	}
+	if upTo <= l.flushedLSN {
+		return nil
+	}
+	var end int64
+	if int(upTo-l.base) == len(l.offsets) {
+		end = int64(len(l.data))
+	} else {
+		end = int64(l.offsets[upTo-l.base]) // offset of the record after upTo
+	}
+	if _, err := l.store.WriteAt(l.data[l.flushedBytes:end], logHeaderSize+l.flushedBytes); err != nil {
+		return fmt.Errorf("wal: flush write: %w", err)
+	}
+	if err := l.store.Sync(); err != nil {
+		return fmt.Errorf("wal: flush sync: %w", err)
+	}
+	l.stats.Flushes++
+	l.stats.FlushedBytes += uint64(end - l.flushedBytes)
+	l.flushedBytes = end
+	l.flushedLSN = upTo
+	return nil
+}
+
+// Get returns the record with the given LSN.  The returned record is a
+// copy; callers may retain or modify it freely.
+func (l *Log) Get(lsn LSN) (*Record, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r, err := l.getLocked(lsn)
+	if err != nil {
+		return nil, err
+	}
+	return r.clone(), nil
+}
+
+func (l *Log) getLocked(lsn LSN) (*Record, error) {
+	if lsn != NilLSN && lsn <= l.base {
+		return nil, fmt.Errorf("%w: %d (base %d)", ErrArchived, lsn, l.base)
+	}
+	if lsn == NilLSN || int(lsn-l.base) > len(l.offsets) {
+		return nil, fmt.Errorf("%w: %d (head %d)", ErrNoSuchLSN, lsn, l.base+LSN(len(l.offsets)))
+	}
+	l.stats.Reads++
+	d := int64(lsn) - int64(l.lastReadLSN)
+	if d == 1 || d == -1 || d == 0 {
+		l.stats.SequentialReads++
+	} else {
+		l.stats.RandomReads++
+	}
+	l.lastReadLSN = lsn
+	return l.cache[lsn-l.base-1], nil
+}
+
+// Scan iterates records with LSN in [from, to] in increasing order, calling
+// fn for each.  fn returning false stops the scan early.  A to of NilLSN
+// means "through the head of the log".
+func (l *Log) Scan(from, to LSN, fn func(*Record) (bool, error)) error {
+	l.mu.Lock()
+	head := l.base + LSN(len(l.offsets))
+	base := l.base
+	l.mu.Unlock()
+	if from == NilLSN {
+		from = 1
+	}
+	if from <= base {
+		from = base + 1
+	}
+	if to == NilLSN || to > head {
+		to = head
+	}
+	for lsn := from; lsn <= to; lsn++ {
+		l.mu.Lock()
+		r, err := l.getLocked(lsn)
+		if err != nil {
+			l.mu.Unlock()
+			return err
+		}
+		r = r.clone()
+		l.mu.Unlock()
+		ok, err := fn(r)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Rewrite mutates the record at lsn in place via fn and patches both the
+// volatile image and (if the record was already durable) the stable device.
+// This is the physical "rewriting of history" of the naïve baselines; the
+// ARIES/RH engine never calls it.  The mutated record must encode to the
+// same number of bytes.
+func (l *Log) Rewrite(lsn LSN, fn func(*Record)) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn != NilLSN && lsn <= l.base {
+		return fmt.Errorf("%w: %d", ErrArchived, lsn)
+	}
+	if lsn == NilLSN || int(lsn-l.base) > len(l.offsets) {
+		return fmt.Errorf("%w: %d", ErrNoSuchLSN, lsn)
+	}
+	idx := int(lsn - l.base - 1)
+	r := l.cache[idx].clone()
+	fn(r)
+	if r.LSN != lsn {
+		return fmt.Errorf("wal: rewrite may not change the LSN of record %d", lsn)
+	}
+	enc, err := EncodeRecord(r)
+	if err != nil {
+		return err
+	}
+	off := l.offsets[idx]
+	var end int
+	if idx+1 == len(l.offsets) {
+		end = len(l.data)
+	} else {
+		end = l.offsets[idx+1]
+	}
+	if len(enc) != end-off {
+		return fmt.Errorf("%w: %d -> %d bytes", ErrRewriteSizeChanged, end-off, len(enc))
+	}
+	copy(l.data[off:end], enc)
+	l.cache[idx] = r
+	l.stats.Rewrites++
+	if int64(end) <= l.flushedBytes {
+		// The record was already stable: patch the device in place
+		// (a random write, the cost the paper's RH design avoids).
+		if _, err := l.store.WriteAt(enc, logHeaderSize+int64(off)); err != nil {
+			return fmt.Errorf("wal: rewrite flush: %w", err)
+		}
+		if err := l.store.Sync(); err != nil {
+			return err
+		}
+		l.stats.RewriteFlushes++
+	}
+	return nil
+}
+
+// Crash simulates a failure: every record past the last flush is lost and
+// the log is re-opened from stable storage.  Accumulated access statistics
+// survive (they describe the device, not the process).
+func (l *Log) Crash() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	stats := l.stats
+	if err := l.loadFromStore(); err != nil {
+		return err
+	}
+	l.stats = stats
+	l.lastReadLSN = NilLSN
+	return nil
+}
+
+// Stats returns a snapshot of the access counters.
+func (l *Log) Stats() AccessStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Archive discards every record with LSN ≤ upTo from both the volatile
+// image and the stable device, compacting the device in place.  Only the
+// durable prefix may be archived (upTo must not exceed the flushed LSN):
+// archiving is for reclaiming log space, not for dropping live tail.
+// Archiving more than once is fine; archiving NilLSN is a no-op.
+func (l *Log) Archive(upTo LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if upTo <= l.base {
+		return nil
+	}
+	if upTo > l.flushedLSN {
+		return fmt.Errorf("wal: archive through %d beyond flushed LSN %d", upTo, l.flushedLSN)
+	}
+	cut := int(upTo - l.base) // records to drop
+	var cutBytes int
+	if cut == len(l.offsets) {
+		cutBytes = len(l.data)
+	} else {
+		cutBytes = l.offsets[cut]
+	}
+	l.data = append(l.data[:0], l.data[cutBytes:]...)
+	l.offsets = l.offsets[:copy(l.offsets, l.offsets[cut:])]
+	for i := range l.offsets {
+		l.offsets[i] -= cutBytes
+	}
+	l.cache = l.cache[:copy(l.cache, l.cache[cut:])]
+	l.base = upTo
+	l.flushedBytes -= int64(cutBytes)
+	// Compact the device: header with the new base, then the surviving
+	// stable bytes.
+	if err := l.writeHeader(); err != nil {
+		return err
+	}
+	if _, err := l.store.WriteAt(l.data[:l.flushedBytes], logHeaderSize); err != nil {
+		return fmt.Errorf("wal: archive compact: %w", err)
+	}
+	if err := l.store.Truncate(logHeaderSize + l.flushedBytes); err != nil {
+		return fmt.Errorf("wal: archive truncate: %w", err)
+	}
+	return l.store.Sync()
+}
+
+// ResetReadCursor forgets the sequential-access cursor; passes that want
+// their first read not to count as random can call it.  Test helper.
+func (l *Log) ResetReadCursor() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lastReadLSN = NilLSN
+}

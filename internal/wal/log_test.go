@@ -1,0 +1,359 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func mustAppend(t *testing.T, l *Log, r *Record) LSN {
+	t.Helper()
+	lsn, err := l.Append(r)
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	return lsn
+}
+
+func newMemLog(t *testing.T) *Log {
+	t.Helper()
+	l, err := NewLog(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestLogAppendAssignsDenseLSNs(t *testing.T) {
+	l := newMemLog(t)
+	for i := 1; i <= 10; i++ {
+		lsn := mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i), After: []byte{byte(i)}})
+		if lsn != LSN(i) {
+			t.Fatalf("append %d: lsn = %d", i, lsn)
+		}
+	}
+	if l.Head() != 10 {
+		t.Fatalf("head = %d, want 10", l.Head())
+	}
+}
+
+func TestLogGet(t *testing.T) {
+	l := newMemLog(t)
+	mustAppend(t, l, &Record{Type: TypeBegin, TxID: 3})
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 3, PrevLSN: 1, Object: 9, After: []byte("x")})
+	r, err := l.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Type != TypeUpdate || r.Object != 9 || r.PrevLSN != 1 {
+		t.Fatalf("got %+v", r)
+	}
+	if _, err := l.Get(0); !errors.Is(err, ErrNoSuchLSN) {
+		t.Fatalf("Get(0) err = %v", err)
+	}
+	if _, err := l.Get(3); !errors.Is(err, ErrNoSuchLSN) {
+		t.Fatalf("Get(3) err = %v", err)
+	}
+	// Mutating the returned record must not affect the log.
+	r.Object = 1000
+	r2, _ := l.Get(2)
+	if r2.Object != 9 {
+		t.Fatal("Get returned an aliased record")
+	}
+}
+
+func TestLogFlushAndCrash(t *testing.T) {
+	l := newMemLog(t)
+	for i := 0; i < 5; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	if err := l.Flush(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FlushedLSN(); got != 3 {
+		t.Fatalf("flushedLSN = %d, want 3", got)
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Head() != 3 {
+		t.Fatalf("head after crash = %d, want 3", l.Head())
+	}
+	if _, err := l.Get(4); !errors.Is(err, ErrNoSuchLSN) {
+		t.Fatalf("record 4 survived the crash: %v", err)
+	}
+	// Appends after the crash continue from the surviving head.
+	lsn := mustAppend(t, l, &Record{Type: TypeCommit, TxID: 1, PrevLSN: 3})
+	if lsn != 4 {
+		t.Fatalf("post-crash append lsn = %d, want 4", lsn)
+	}
+}
+
+func TestLogFlushPastHeadFlushesAll(t *testing.T) {
+	l := newMemLog(t)
+	mustAppend(t, l, &Record{Type: TypeBegin, TxID: 1})
+	if err := l.Flush(99); err != nil {
+		t.Fatal(err)
+	}
+	if l.FlushedLSN() != 1 {
+		t.Fatalf("flushedLSN = %d", l.FlushedLSN())
+	}
+}
+
+func TestLogReopenFromStore(t *testing.T) {
+	store := NewMemStore()
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, &Record{Type: TypeBegin, TxID: 2})
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 2, PrevLSN: 1, Object: 5, Before: []byte("a"), After: []byte("b")})
+	if err := l.Flush(2); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Head() != 2 || l2.FlushedLSN() != 2 {
+		t.Fatalf("reopened head=%d flushed=%d", l2.Head(), l2.FlushedLSN())
+	}
+	r, err := l2.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Object != 5 || string(r.After) != "b" {
+		t.Fatalf("reopened record: %+v", r)
+	}
+}
+
+func TestLogTornTailTruncated(t *testing.T) {
+	store := NewMemStore()
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, &Record{Type: TypeBegin, TxID: 1})
+	mustAppend(t, l, &Record{Type: TypeCommit, TxID: 1, PrevLSN: 1})
+	if err := l.Flush(2); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write: chop bytes off the stable tail.
+	size, _ := store.Size()
+	if err := store.Truncate(size - 3); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Head() != 1 {
+		t.Fatalf("head = %d, want 1 (torn record dropped)", l2.Head())
+	}
+}
+
+func TestLogScan(t *testing.T) {
+	l := newMemLog(t)
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	var got []ObjectID
+	err := l.Scan(2, 5, func(r *Record) (bool, error) {
+		got = append(got, r.Object)
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ObjectID{2, 3, 4, 5}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("scan = %v, want %v", got, want)
+	}
+	// Early stop.
+	n := 0
+	if err := l.Scan(NilLSN, NilLSN, func(r *Record) (bool, error) { n++; return n < 3, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestLogRewrite(t *testing.T) {
+	l := newMemLog(t)
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 7, Before: []byte("a"), After: []byte("b")})
+	if err := l.Rewrite(1, func(r *Record) { r.TxID = 2 }); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := l.Get(1)
+	if r.TxID != 2 {
+		t.Fatalf("rewrite not applied: %+v", r)
+	}
+	// Size-changing rewrites are rejected.
+	err := l.Rewrite(1, func(r *Record) { r.After = []byte("grown") })
+	if !errors.Is(err, ErrRewriteSizeChanged) {
+		t.Fatalf("err = %v, want ErrRewriteSizeChanged", err)
+	}
+	// LSN-changing rewrites are rejected.
+	if err := l.Rewrite(1, func(r *Record) { r.LSN = 99 }); err == nil {
+		t.Fatal("LSN rewrite accepted")
+	}
+}
+
+func TestLogRewriteStablePatchesDevice(t *testing.T) {
+	store := NewMemStore()
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 7, After: []byte("x")})
+	if err := l.Flush(1); err != nil {
+		t.Fatal(err)
+	}
+	before := l.Stats()
+	if err := l.Rewrite(1, func(r *Record) { r.TxID = 9 }); err != nil {
+		t.Fatal(err)
+	}
+	d := l.Stats().Sub(before)
+	if d.Rewrites != 1 || d.RewriteFlushes != 1 {
+		t.Fatalf("stats diff = %+v", d)
+	}
+	// The patch must survive a crash (it went to stable storage).
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := l.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TxID != 9 {
+		t.Fatalf("stable rewrite lost: %+v", r)
+	}
+}
+
+func TestLogAccessStatsSequentialVsRandom(t *testing.T) {
+	l := newMemLog(t)
+	for i := 0; i < 10; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	l.ResetReadCursor()
+	base := l.Stats()
+	for lsn := LSN(10); lsn >= 1; lsn-- { // backward sweep is sequential
+		if _, err := l.Get(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := l.Stats().Sub(base)
+	if d.RandomReads > 1 { // only the first positioning read may be random
+		t.Fatalf("backward sweep counted %d random reads", d.RandomReads)
+	}
+	base = l.Stats()
+	for _, lsn := range []LSN{5, 1, 7, 3} { // cursor sits at 1 after the sweep
+		if _, err := l.Get(lsn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d = l.Stats().Sub(base)
+	if d.RandomReads != 4 {
+		t.Fatalf("scattered reads counted %d random reads, want 4", d.RandomReads)
+	}
+}
+
+func TestLogFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	store, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, &Record{Type: TypeBegin, TxID: 1})
+	mustAppend(t, l, &Record{Type: TypeCommit, TxID: 1, PrevLSN: 1})
+	if err := l.Flush(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	l2, err := NewLog(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Head() != 2 {
+		t.Fatalf("file-backed reopen head = %d", l2.Head())
+	}
+}
+
+func TestLogConcurrentAppends(t *testing.T) {
+	l := newMemLog(t)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := l.Append(&Record{Type: TypeUpdate, TxID: TxID(g + 1), Object: ObjectID(i)}); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Head() != goroutines*per {
+		t.Fatalf("head = %d, want %d", l.Head(), goroutines*per)
+	}
+	// Every LSN must be readable and dense.
+	for lsn := LSN(1); lsn <= goroutines*per; lsn++ {
+		if _, err := l.Get(lsn); err != nil {
+			t.Fatalf("get %d: %v", lsn, err)
+		}
+	}
+}
+
+func TestLogInteriorCorruptionRefusesOpen(t *testing.T) {
+	store := NewMemStore()
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, &Record{Type: TypeBegin, TxID: 1})
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 1, After: []byte("v")})
+	mustAppend(t, l, &Record{Type: TypeCommit, TxID: 1, PrevLSN: 2})
+	if err := l.Flush(3); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte INSIDE the first record (interior corruption).
+	buf := store.Bytes()
+	buf[20] ^= 0xFF
+	store2 := NewMemStore()
+	if _, err := store2.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLog(store2); err == nil {
+		t.Fatal("interior corruption silently accepted")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	// A genuinely torn tail (short final frame) still opens.
+	if err := store.Truncate(int64(len(store.Bytes())) - 3); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l3.Head() != 2 {
+		t.Fatalf("head after torn tail = %d, want 2", l3.Head())
+	}
+}

@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary layout of an encoded record:
+//
+//	u32 bodyLen | u32 crc32(body) | body
+//
+// body:
+//
+//	u8  type
+//	u64 lsn
+//	u32 txid
+//	u64 prevLSN
+//	... type-specific fields ...
+//
+// All integers are little-endian.  The frame is self-describing so a log can
+// be rescanned from byte 0 after a crash, and the CRC detects torn tails.
+
+// ErrCorrupt is returned when a record frame fails its checksum or is
+// structurally malformed.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// ErrTruncated is returned when the buffer ends before the frame does — a
+// torn tail after a crash, recoverable by dropping the partial frame.  It
+// wraps ErrCorrupt, so errors.Is(err, ErrCorrupt) also holds.
+var ErrTruncated = errors.New("wal: truncated record")
+
+const frameHeaderSize = 8
+
+type recordEncoder struct{ buf []byte }
+
+func (e *recordEncoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *recordEncoder) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *recordEncoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *recordEncoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+func (e *recordEncoder) bytes16(p []byte) {
+	if len(p) > 0xFFFF {
+		panic("wal: image larger than 64 KiB")
+	}
+	e.u16(uint16(len(p)))
+	e.buf = append(e.buf, p...)
+}
+
+func (e *recordEncoder) bytes32(p []byte) {
+	e.u32(uint32(len(p)))
+	e.buf = append(e.buf, p...)
+}
+
+type recordDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *recordDecoder) fail() {
+	if d.err == nil {
+		d.err = ErrCorrupt
+	}
+}
+
+func (d *recordDecoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *recordDecoder) u16() uint16 {
+	if d.err != nil || d.off+2 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(d.buf[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *recordDecoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *recordDecoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *recordDecoder) bytes16() []byte {
+	n := int(d.u16())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	p := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	d.off += n
+	return p
+}
+
+func (d *recordDecoder) bytes32() []byte {
+	n := int(d.u32())
+	if d.err != nil || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	p := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	d.off += n
+	return p
+}
+
+// EncodeRecord serializes r into a framed, checksummed byte slice.
+func EncodeRecord(r *Record) ([]byte, error) {
+	var e recordEncoder
+	e.buf = make([]byte, frameHeaderSize, frameHeaderSize+64+len(r.Before)+len(r.After)+len(r.Payload))
+	e.u8(uint8(r.Type))
+	e.u64(uint64(r.LSN))
+	e.u32(uint32(r.TxID))
+	e.u64(uint64(r.PrevLSN))
+	switch r.Type {
+	case TypeBegin, TypeCommit, TypeAbort, TypeEnd, TypeCheckpointBegin:
+		// header only
+	case TypeUpdate:
+		e.u64(uint64(r.Object))
+		e.bytes16(r.Before)
+		e.bytes16(r.After)
+	case TypeCLR:
+		e.u64(uint64(r.Object))
+		e.u64(uint64(r.UndoNextLSN))
+		e.u64(uint64(r.Compensates))
+		if r.Logical {
+			e.u8(1)
+			e.u64(uint64(r.Delta))
+		} else {
+			e.u8(0)
+			e.bytes16(r.Before)
+		}
+	case TypeIncrement:
+		e.u64(uint64(r.Object))
+		e.u64(uint64(r.Delta))
+	case TypeDelegate:
+		e.u32(uint32(r.Tor))
+		e.u32(uint32(r.Tee))
+		e.u64(uint64(r.TorPrev))
+		e.u64(uint64(r.TeePrev))
+		e.u64(uint64(r.Object))
+	case TypeCheckpointEnd:
+		e.bytes32(r.Payload)
+	default:
+		return nil, fmt.Errorf("wal: cannot encode record type %v", r.Type)
+	}
+	body := e.buf[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(e.buf[0:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(e.buf[4:], crc32.ChecksumIEEE(body))
+	return e.buf, nil
+}
+
+// DecodeRecord parses one framed record from the front of p, returning the
+// record and the total number of bytes consumed.  It returns ErrCorrupt
+// (possibly wrapped) when the frame is truncated or fails its checksum.
+func DecodeRecord(p []byte) (*Record, int, error) {
+	if len(p) < frameHeaderSize {
+		return nil, 0, fmt.Errorf("%w (%w): frame header", ErrTruncated, ErrCorrupt)
+	}
+	bodyLen := int(binary.LittleEndian.Uint32(p[0:]))
+	sum := binary.LittleEndian.Uint32(p[4:])
+	if len(p) < frameHeaderSize+bodyLen {
+		return nil, 0, fmt.Errorf("%w (%w): body wants %d bytes", ErrTruncated, ErrCorrupt, bodyLen)
+	}
+	body := p[frameHeaderSize : frameHeaderSize+bodyLen]
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	d := recordDecoder{buf: body}
+	r := &Record{}
+	r.Type = RecordType(d.u8())
+	r.LSN = LSN(d.u64())
+	r.TxID = TxID(d.u32())
+	r.PrevLSN = LSN(d.u64())
+	switch r.Type {
+	case TypeBegin, TypeCommit, TypeAbort, TypeEnd, TypeCheckpointBegin:
+	case TypeUpdate:
+		r.Object = ObjectID(d.u64())
+		r.Before = d.bytes16()
+		r.After = d.bytes16()
+	case TypeCLR:
+		r.Object = ObjectID(d.u64())
+		r.UndoNextLSN = LSN(d.u64())
+		r.Compensates = LSN(d.u64())
+		if d.u8() == 1 {
+			r.Logical = true
+			r.Delta = int64(d.u64())
+		} else {
+			r.Before = d.bytes16()
+		}
+	case TypeIncrement:
+		r.Object = ObjectID(d.u64())
+		r.Delta = int64(d.u64())
+	case TypeDelegate:
+		r.Tor = TxID(d.u32())
+		r.Tee = TxID(d.u32())
+		r.TorPrev = LSN(d.u64())
+		r.TeePrev = LSN(d.u64())
+		r.Object = ObjectID(d.u64())
+	case TypeCheckpointEnd:
+		r.Payload = d.bytes32()
+	default:
+		return nil, 0, fmt.Errorf("%w: unknown record type %d", ErrCorrupt, uint8(r.Type))
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if d.off != len(body) {
+		return nil, 0, fmt.Errorf("%w: %d trailing bytes in body", ErrCorrupt, len(body)-d.off)
+	}
+	return r, frameHeaderSize + bodyLen, nil
+}

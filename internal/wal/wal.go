@@ -1,0 +1,185 @@
+// Package wal implements the write-ahead log used by every recovery engine
+// in this repository: the ARIES/RH engine (internal/core), the plain ARIES
+// baseline (internal/aries), the naïve history-rewriting baselines
+// (internal/rewrite) and, in per-transaction form, the EOS-style engine
+// (internal/eos).
+//
+// The log is an append-only sequence of typed records identified by
+// monotonically increasing log sequence numbers (LSNs).  Records of one
+// transaction are linked into a backward chain (BC) through their PrevLSN
+// fields; delegate records additionally carry the backward-chain heads of
+// both the delegator and the delegatee (fields torBC/teeBC in Figure 6 of
+// the paper).
+//
+// Crash semantics are simulated, never process-fatal: records appended but
+// not yet flushed live only in volatile memory and are discarded by
+// (*Log).Crash, mirroring the loss of the in-memory log tail on a real
+// failure.  All access paths are instrumented (AccessStats) so benchmarks
+// can report log I/O in the units the paper argues in: appends, flushes,
+// sequential reads, random reads, and in-place rewrites (the latter used
+// only by the naïve baselines, which physically rewrite history).
+package wal
+
+import "fmt"
+
+// LSN is a log sequence number.  LSNs are dense 1-based sequence numbers:
+// the n-th record appended to a log has LSN n.  The zero value NilLSN never
+// names a record and is used as the end marker of backward chains.
+type LSN uint64
+
+// NilLSN is the null log sequence number, used to terminate backward chains
+// and to mean "no record".
+const NilLSN LSN = 0
+
+// TxID identifies a transaction.  The zero value is reserved and never
+// assigned to a live transaction.
+type TxID uint32
+
+// NilTx is the reserved, never-assigned transaction ID.
+const NilTx TxID = 0
+
+// ObjectID identifies a database object (the unit of delegation in this
+// implementation, per §2.1.2 of the paper: delegating an object delegates
+// the delegator's operations on that object).
+type ObjectID uint64
+
+// RecordType discriminates log record kinds.
+type RecordType uint8
+
+// Log record types.  TypeDelegate is the record type introduced by the
+// paper (§3.4, Figure 6); all others are conventional ARIES record types.
+const (
+	TypeInvalid RecordType = iota
+	// TypeBegin marks the start of a transaction.
+	TypeBegin
+	// TypeUpdate records an in-place object update with before and after
+	// images (physical UNDO/REDO logging).
+	TypeUpdate
+	// TypeCLR is a compensation log record written when an update is
+	// undone, carrying UndoNextLSN so undo work is never repeated.
+	TypeCLR
+	// TypeDelegate records delegate(tor, tee, object): the transfer of
+	// responsibility for tor's updates to object over to tee.
+	TypeDelegate
+	// TypeCommit marks transaction commit; the log must be flushed
+	// through this record before the commit is acknowledged.
+	TypeCommit
+	// TypeAbort marks the start of a rollback.
+	TypeAbort
+	// TypeEnd marks the completion of commit or rollback processing.
+	TypeEnd
+	// TypeCheckpointBegin and TypeCheckpointEnd bracket a fuzzy
+	// checkpoint; the end record carries the serialized transaction
+	// table, dirty page table and delegation state.
+	TypeCheckpointBegin
+	TypeCheckpointEnd
+	// TypeIncrement records a commutative counter increment with a
+	// logical (delta) description: undo applies the negated delta, so
+	// increments by different transactions may interleave on one object
+	// (the paper's "not all update operations conflict", §2.1.1, and
+	// the counter example of §3.4).
+	TypeIncrement
+)
+
+// String returns the conventional short name of the record type.
+func (t RecordType) String() string {
+	switch t {
+	case TypeBegin:
+		return "begin"
+	case TypeUpdate:
+		return "update"
+	case TypeCLR:
+		return "clr"
+	case TypeDelegate:
+		return "delegate"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeEnd:
+		return "end"
+	case TypeCheckpointBegin:
+		return "ckpt-begin"
+	case TypeCheckpointEnd:
+		return "ckpt-end"
+	case TypeIncrement:
+		return "increment"
+	default:
+		return fmt.Sprintf("invalid(%d)", uint8(t))
+	}
+}
+
+// Record is a single log record.  One struct covers all record types; the
+// per-type encoders serialize only the fields meaningful for the type.
+type Record struct {
+	// LSN is assigned by (*Log).Append and identifies the record.
+	LSN LSN
+	// Type discriminates the record kind.
+	Type RecordType
+	// TxID is the transaction on whose behalf the record was written.
+	// For delegate records this is the delegator.  The naïve rewriting
+	// baselines mutate this field in place — that is precisely the
+	// "rewriting history" the paper's RH algorithm avoids.
+	TxID TxID
+	// PrevLSN links the record into TxID's backward chain.
+	PrevLSN LSN
+
+	// Object, Before and After are set on update records; CLRs reuse
+	// Object and Before (the image being restored).
+	Object ObjectID
+	Before []byte
+	After  []byte
+
+	// UndoNextLSN (CLR only) is the next record of the transaction to
+	// undo; Compensates is the LSN of the update this CLR undoes.
+	UndoNextLSN LSN
+	Compensates LSN
+
+	// Delegate-record fields (Figure 6 of the paper).  Tor duplicates
+	// TxID; TorPrev and TeePrev are the backward-chain heads of the
+	// delegator and delegatee at the time of the delegation.
+	Tor     TxID
+	Tee     TxID
+	TorPrev LSN
+	TeePrev LSN
+
+	// Payload carries opaque data for checkpoint-end records.
+	Payload []byte
+
+	// Delta is the signed amount of an increment record; on a CLR it is
+	// the (negated) logical compensation of an undone increment, in
+	// which case Logical is set and Before is unused.
+	Delta   int64
+	Logical bool
+}
+
+// IsUndoable reports whether the record represents a change that the undo
+// pass may need to roll back.
+func (r *Record) IsUndoable() bool { return r.Type == TypeUpdate || r.Type == TypeIncrement }
+
+// String renders the record compactly, in the style of the paper's figures,
+// e.g. "102 update[t2, 7]" or "106 delegate(t1 -> t2, 7)".
+func (r *Record) String() string {
+	switch r.Type {
+	case TypeUpdate:
+		return fmt.Sprintf("%d update[t%d, %d]", r.LSN, r.TxID, r.Object)
+	case TypeIncrement:
+		return fmt.Sprintf("%d increment[t%d, %d, %+d]", r.LSN, r.TxID, r.Object, r.Delta)
+	case TypeCLR:
+		return fmt.Sprintf("%d clr[t%d, %d undoNext=%d]", r.LSN, r.TxID, r.Object, r.UndoNextLSN)
+	case TypeDelegate:
+		return fmt.Sprintf("%d delegate(t%d -> t%d, %d)", r.LSN, r.Tor, r.Tee, r.Object)
+	default:
+		return fmt.Sprintf("%d %s(t%d)", r.LSN, r.Type, r.TxID)
+	}
+}
+
+// clone returns a deep copy of the record so callers can hold decoded
+// records without aliasing the log's internal cache.
+func (r *Record) clone() *Record {
+	c := *r
+	c.Before = append([]byte(nil), r.Before...)
+	c.After = append([]byte(nil), r.After...)
+	c.Payload = append([]byte(nil), r.Payload...)
+	return &c
+}
