@@ -1,0 +1,32 @@
+# Development targets for the ARIES/RH reproduction.
+#
+#   make check     vet + build + full test suite + short race pass
+#   make race      race-detector run of the concurrency-sensitive packages
+#   make bench-e8  regenerate BENCH_E8.json (quick sizes)
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-e8
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages whose hot paths drop and re-take latches: the core engine
+# (group commit, DelegateAll), the WAL (leader flusher), and the sim
+# stress tests that drive them concurrently.
+race:
+	$(GO) test -race -short ./internal/core ./internal/wal ./internal/sim
+
+bench:
+	$(GO) test -bench . -benchtime 0.5s .
+
+bench-e8:
+	$(GO) run ./cmd/rhbench -exp e8 -quick -json BENCH_E8.json

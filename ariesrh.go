@@ -64,6 +64,24 @@ var (
 	ErrCrashed = core.ErrCrashed
 )
 
+// GroupCommitMode selects how Commit forces the log (re-exported from the
+// engine).
+type GroupCommitMode = core.GroupCommitMode
+
+// Group-commit modes.
+const (
+	// GroupCommitAuto (the zero value) enables group commit: concurrent
+	// committers share one device sync per batch and never hold the
+	// engine latch across it.
+	GroupCommitAuto = core.GroupCommitAuto
+	// GroupCommitOn enables group commit explicitly.
+	GroupCommitOn = core.GroupCommitOn
+	// GroupCommitOff makes every commit perform its own synchronous log
+	// force under the engine latch — deterministic flush timing for
+	// crash tests.
+	GroupCommitOff = core.GroupCommitOff
+)
+
 // Options configures Open.
 type Options struct {
 	// Dir, when non-empty, makes the database file-backed: the log,
@@ -73,6 +91,9 @@ type Options struct {
 	Dir string
 	// PoolSize is the buffer-pool capacity in pages (default 128).
 	PoolSize int
+	// GroupCommit selects commit-time log forcing; the zero value
+	// enables coalesced group commit.
+	GroupCommit GroupCommitMode
 }
 
 // DB is a handle to an ARIES/RH database.
@@ -90,7 +111,7 @@ func Open(opts ...Options) (*DB, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	engineOpts := core.Options{PoolSize: o.PoolSize}
+	engineOpts := core.Options{PoolSize: o.PoolSize, GroupCommit: o.GroupCommit}
 	// cleanup releases file handles if engine construction fails; on
 	// success the engine owns them and DB.Close goes through the engine.
 	cleanup := func() {}

@@ -5,23 +5,28 @@
 //
 // Usage:
 //
-//	rhbench            # run everything
-//	rhbench -exp e3    # run one experiment
-//	rhbench -quick     # smaller sizes (CI-friendly)
+//	rhbench                              # run everything
+//	rhbench -exp e3                      # run one experiment
+//	rhbench -quick                       # smaller sizes (CI-friendly)
+//	rhbench -exp e8 -json BENCH_E8.json  # machine-readable output
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
+	"time"
 
 	"ariesrh/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e6, a1, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e8, a1, or all")
 	quick := flag.Bool("quick", false, "use smaller workload sizes")
+	jsonPath := flag.String("json", "", "also write the tables as a JSON array to this file")
 	flag.Parse()
 
 	scale := 1
@@ -62,8 +67,21 @@ func main() {
 		{"a1", func() (*bench.Table, error) {
 			return bench.A1ClusterSweepAblation(6000/scale, []float64{0, 0.10, 0.40})
 		}},
+		{"e8", func() (*bench.Table, error) {
+			// No 2-committer point: two workers pipeline-alternate behind
+			// the device (each sync covers exactly one commit record), so
+			// the curve only starts moving at 4 committers.
+			committers := []int{1, 4, 8, 16, 32, 64}
+			txnsPer, updatesPer, delay := 48, 4, 200*time.Microsecond
+			if *quick {
+				committers = []int{1, 4, 16, 64}
+				txnsPer, delay = 24, 100*time.Microsecond
+			}
+			return bench.E8GroupCommit(committers, txnsPer, updatesPer, delay)
+		}},
 	}
 
+	var tables []*bench.Table
 	ran := false
 	for _, r := range runs {
 		if *exp != "all" && !strings.EqualFold(*exp, r.id) {
@@ -75,8 +93,20 @@ func main() {
 			log.Fatalf("%s: %v", r.id, err)
 		}
 		fmt.Println(table.Format())
+		tables = append(tables, table)
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want e1..e6, a1, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want e1..e8, a1, or all)", *exp)
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			log.Fatalf("marshal tables: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			log.Fatalf("write %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("wrote %s (%d tables)\n", *jsonPath, len(tables))
 	}
 }

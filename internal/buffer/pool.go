@@ -110,6 +110,33 @@ func (p *Pool) Fetch(pid storage.PageID) (*storage.Page, error) {
 	return page, nil
 }
 
+// Prefault brings pid into the pool without pinning it, evicting (and, if
+// dirty, writing back under the WAL rule) a victim if needed.  Unlike
+// Fetch it does not return the page and requires no engine latch: the
+// whole operation happens inside one pool critical section, so it cannot
+// interleave with Crash in a way that strands a pin.  Engines use it to
+// take page faults — and eviction I/O — off their global latch.
+func (p *Pool) Prefault(pid storage.PageID) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.frames[pid]; ok {
+		p.stats.Hits++
+		return nil
+	}
+	p.stats.Misses++
+	if err := p.evictForSpaceLocked(); err != nil {
+		return err
+	}
+	page, err := p.disk.ReadPage(pid)
+	if err != nil {
+		return err
+	}
+	f := &frame{pid: pid, page: page}
+	f.elem = p.lru.PushBack(f)
+	p.frames[pid] = f
+	return nil
+}
+
 // evictForSpaceLocked makes room for one more frame, flushing a dirty
 // victim under the WAL rule if needed.
 func (p *Pool) evictForSpaceLocked() error {

@@ -65,6 +65,9 @@ func (e *Engine) Increment(tx wal.TxID, obj wal.ObjectID, delta int64) (int64, e
 		return 0, err
 	}
 
+	// See Update: take the page fault before re-acquiring the latch.
+	e.store.Prefetch(obj)
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.crashed {
@@ -94,12 +97,14 @@ func (e *Engine) Increment(tx wal.TxID, obj wal.ObjectID, delta int64) (int64, e
 	if err != nil {
 		return 0, err
 	}
+	// As in Update: finish the volatile bookkeeping before the page write
+	// so a write failure leaves the tables consistent with the log.
 	e.state[tx].RecordUpdate(tx, obj, lsn)
+	info.LastLSN = lsn
 	next := cur + delta
 	if err := e.store.Write(obj, EncodeCounter(next), lsn); err != nil {
 		return 0, err
 	}
-	info.LastLSN = lsn
 	e.stats.Updates++
 	return next, nil
 }

@@ -51,6 +51,23 @@ var (
 	ErrCrashed = errors.New("core: engine crashed; run Recover")
 )
 
+// GroupCommitMode selects how Commit forces the log.
+type GroupCommitMode int
+
+const (
+	// GroupCommitAuto (the zero value) enables group commit: committers
+	// append their commit record under the engine latch, release it, and
+	// wait on a coalesced flush (wal.Log.FlushAsync), so concurrent
+	// commits share device syncs and never stall unrelated operations.
+	GroupCommitAuto GroupCommitMode = iota
+	// GroupCommitOn enables group commit explicitly.
+	GroupCommitOn
+	// GroupCommitOff forces the synchronous path: every commit performs
+	// its own log flush while holding the engine latch.  Deterministic
+	// crash tests and the sim oracle use it to pin down flush timing.
+	GroupCommitOff
+)
+
 // Options configures an Engine.
 type Options struct {
 	// PoolSize is the buffer-pool capacity in pages (default 128).
@@ -69,7 +86,13 @@ type Options struct {
 	// are identical; only the visit counts differ.  Ablation benchmarks
 	// only.
 	FullScanUndo bool
+	// GroupCommit selects commit-time log forcing; the zero value
+	// (GroupCommitAuto) enables coalesced group commit.
+	GroupCommit GroupCommitMode
 }
+
+// groupCommit reports whether commits use the coalesced flush path.
+func (o Options) groupCommit() bool { return o.GroupCommit != GroupCommitOff }
 
 // Stats counts engine activity.
 type Stats struct {

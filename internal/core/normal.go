@@ -57,6 +57,9 @@ func (e *Engine) Read(tx wal.TxID, obj wal.ObjectID) ([]byte, error) {
 		return nil, err
 	}
 
+	// See Update: take the page fault before re-acquiring the latch.
+	e.store.Prefetch(obj)
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.crashed {
@@ -95,6 +98,13 @@ func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
 		return err
 	}
 
+	// Latch-scope reduction: fault the object's page into the buffer pool
+	// now, while no latch is held, so the latched section below hits
+	// memory.  Any page-fault read — and any eviction write-back with its
+	// WAL-rule log flush — lands on this goroutine instead of stalling
+	// every other transaction behind the engine latch.
+	e.store.Prefetch(obj)
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.crashed {
@@ -124,11 +134,17 @@ func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
 	if err != nil {
 		return err
 	}
+	// The update is on the log: complete ALL volatile bookkeeping — scope
+	// and backward chain — before touching the page, so a failed page
+	// write leaves the tables consistent with the log and Abort (or
+	// recovery) can compensate the logged update.  Advancing LastLSN
+	// only after the write would leave a logged update outside the
+	// backward chain on error.
 	e.state[tx].RecordUpdate(tx, obj, lsn)
+	info.LastLSN = lsn
 	if err := e.store.Write(obj, val, lsn); err != nil {
 		return err
 	}
-	info.LastLSN = lsn
 	e.stats.Updates++
 	return nil
 }
@@ -144,6 +160,13 @@ func (e *Engine) Delegate(tor, tee wal.TxID, obj wal.ObjectID) error {
 	if e.crashed {
 		return ErrCrashed
 	}
+	return e.delegateLocked(tor, tee, obj)
+}
+
+// delegateLocked is Delegate's body; the caller holds the engine latch.
+// Factored out so DelegateAll can apply a whole batch under one latch
+// acquisition.
+func (e *Engine) delegateLocked(tor, tee wal.TxID, obj wal.ObjectID) error {
 	if tor == tee {
 		return fmt.Errorf("core: delegate(t%d, t%d): delegator and delegatee must differ", tor, tee)
 	}
@@ -201,19 +224,19 @@ func (e *Engine) Delegate(tor, tee wal.TxID, obj wal.ObjectID) error {
 // engine operations.
 func (e *Engine) DelegateAll(tor, tee wal.TxID) error {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.crashed {
-		e.mu.Unlock()
 		return ErrCrashed
 	}
 	ol, ok := e.state[tor]
 	if !ok {
-		e.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrNoSuchTxn, tor)
 	}
-	objs := ol.Objects()
-	e.mu.Unlock()
-	for _, obj := range objs {
-		if err := e.Delegate(tor, tee, obj); err != nil {
+	// The latch is held across the whole loop: no other operation — in
+	// particular no termination of tor or tee — can interleave between
+	// the per-object delegations.
+	for _, obj := range ol.Objects() {
+		if err := e.delegateLocked(tor, tee, obj); err != nil {
 			return err
 		}
 	}
@@ -257,28 +280,89 @@ func (e *Engine) ObjectsOf(tx wal.TxID) ([]wal.ObjectID, error) {
 // Commit commits tx (§3.5): the operations tx is responsible for are
 // already on the log; a commit record is appended and the log is flushed
 // through it before the commit is acknowledged.
+//
+// With group commit (Options.GroupCommit, the default) the flush happens
+// off-latch: the commit record is appended under the latch, the latch is
+// released, and the committer waits on wal.Log.FlushAsync — one device
+// sync then covers every commit record queued meanwhile, and unrelated
+// operations (Update/Delegate/Read) proceed during the sync instead of
+// stalling behind it.  With GroupCommitOff every commit performs its own
+// synchronous flush under the latch, the pre-group-commit behavior.
 func (e *Engine) Commit(tx wal.TxID) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.crashed {
+		e.mu.Unlock()
 		return ErrCrashed
 	}
 	info, err := e.activeInfo(tx)
 	if err != nil {
+		e.mu.Unlock()
 		return err
 	}
 	if err := e.checkCommitDependenciesLocked(tx); err != nil {
+		e.mu.Unlock()
 		return err
 	}
 	lsn, err := e.log.Append(&wal.Record{Type: wal.TypeCommit, TxID: tx, PrevLSN: info.LastLSN})
 	if err != nil {
+		e.mu.Unlock()
 		return err
 	}
-	if err := e.log.Flush(lsn); err != nil {
-		return err
+
+	if !e.opts.groupCommit() {
+		defer e.mu.Unlock()
+		if err := e.log.Flush(lsn); err != nil {
+			return err
+		}
+		info.Status = txn.Committed
+		info.LastLSN = lsn
+		return e.finishCommitLocked(tx, info, lsn)
 	}
+
+	// Group commit.  The appended commit record is the commit point: mark
+	// the transaction Committed *before* releasing the latch so cascading
+	// aborts (which only victimize Active transactions) cannot undo its
+	// updates during the unlatched wait.  A dependent that observes the
+	// Committed status and commits ahead of us is safe: its commit record
+	// has a higher LSN, and flushes are prefix-ordered, so it cannot
+	// become durable unless ours does.
 	info.Status = txn.Committed
 	info.LastLSN = lsn
+	ch := e.log.FlushAsync(lsn)
+	e.mu.Unlock()
+	ferr := <-ch
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		// A crash interleaved with the flush wait.  Whether the commit
+		// record reached the device before the crash decides the
+		// transaction's fate at Recover — the usual commit-ack
+		// ambiguity of a crash during commit processing.
+		return ErrCrashed
+	}
+	if ferr != nil {
+		// The device refused the flush: the commit is not durable and
+		// was never acknowledged.  Return the transaction to Active —
+		// matching the synchronous path, where a failed flush also
+		// leaves the transaction alive (retriable, abortable,
+		// cascadable).
+		if info := e.txns.Get(tx); info != nil && info.Status == txn.Committed {
+			info.Status = txn.Active
+		}
+		return ferr
+	}
+	info = e.txns.Get(tx)
+	if info == nil {
+		return fmt.Errorf("%w: %d", ErrNoSuchTxn, tx)
+	}
+	return e.finishCommitLocked(tx, info, lsn)
+}
+
+// finishCommitLocked completes a commit whose commit record (at lsn) is
+// durable: append the end record, release locks and clean up the volatile
+// tables.  The caller holds the latch and has already set info.Status.
+func (e *Engine) finishCommitLocked(tx wal.TxID, info *txn.Info, lsn wal.LSN) error {
 	endLSN, err := e.log.Append(&wal.Record{Type: wal.TypeEnd, TxID: tx, PrevLSN: lsn})
 	if err != nil {
 		return err

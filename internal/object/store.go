@@ -123,6 +123,24 @@ func (s *Store) Write(obj wal.ObjectID, val []byte, lsn wal.LSN) error {
 	return s.pool.Unpin(r.pid, true, lsn)
 }
 
+// Prefetch pulls the page holding obj into the buffer pool without reading
+// or writing its contents, so a later Read/Write under the engine latch
+// hits memory.  The point is latch-scope reduction: the page fault — and a
+// possible eviction of another dirty page, with its write-back and
+// WAL-rule log flush — happens on the caller's thread with no engine latch
+// held.  Purely a performance hint: unknown objects are ignored, errors
+// are swallowed (the latched access will surface them), and the page may
+// be evicted again before it is used.
+func (s *Store) Prefetch(obj wal.ObjectID) {
+	s.mu.Lock()
+	r, ok := s.dir[obj]
+	s.mu.Unlock()
+	if !ok {
+		return
+	}
+	_ = s.pool.Prefault(r.pid)
+}
+
 // PageLSN returns the pageLSN of the page holding obj (NilLSN for objects
 // not yet stored).  The redo pass uses it to decide whether a logged change
 // is already reflected on the page.

@@ -1,0 +1,145 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedStore blocks Sync until released, so tests can deterministically
+// pile waiters onto the flush queue while the leader's first device sync
+// is in flight.
+type gatedStore struct {
+	*MemStore
+	mu      sync.Mutex
+	armed   bool // NewLog itself syncs (header write); gate only after setup
+	syncs   int
+	gate    chan struct{} // each armed Sync receives once from here
+	entered chan struct{} // signaled when an armed Sync starts waiting
+}
+
+func newGatedStore() *gatedStore {
+	return &gatedStore{
+		MemStore: NewMemStore(),
+		gate:     make(chan struct{}),
+		entered:  make(chan struct{}, 16),
+	}
+}
+
+func (s *gatedStore) arm() {
+	s.mu.Lock()
+	s.armed = true
+	s.mu.Unlock()
+}
+
+func (s *gatedStore) Sync() error {
+	s.mu.Lock()
+	armed := s.armed
+	if armed {
+		s.syncs++
+	}
+	s.mu.Unlock()
+	if armed {
+		s.entered <- struct{}{}
+		<-s.gate
+	}
+	return s.MemStore.Sync()
+}
+
+func (s *gatedStore) syncCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncs
+}
+
+func TestFlushAsyncSingleWaiter(t *testing.T) {
+	l := newMemLog(t)
+	lsn := mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 7})
+	if err := <-l.FlushAsync(lsn); err != nil {
+		t.Fatalf("FlushAsync: %v", err)
+	}
+	if got := l.FlushedLSN(); got < lsn {
+		t.Fatalf("FlushedLSN = %d, want >= %d", got, lsn)
+	}
+	st := l.Stats()
+	if st.GroupedFlushes != 1 || st.FlushWaiters != 1 {
+		t.Fatalf("stats = grouped %d / waiters %d, want 1/1", st.GroupedFlushes, st.FlushWaiters)
+	}
+}
+
+func TestFlushAsyncAlreadyDurable(t *testing.T) {
+	l := newMemLog(t)
+	lsn := mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 7})
+	if err := l.Flush(lsn); err != nil {
+		t.Fatal(err)
+	}
+	st0 := l.Stats()
+	// Already-covered requests complete immediately without a device trip.
+	if err := <-l.FlushAsync(lsn); err != nil {
+		t.Fatalf("FlushAsync: %v", err)
+	}
+	d := l.Stats().Sub(st0)
+	if d.Flushes != 0 || d.GroupedFlushes != 0 {
+		t.Fatalf("already-durable FlushAsync touched the device: %+v", d)
+	}
+}
+
+// TestFlushAsyncCoalesces pins the leader's first sync on a gate, queues
+// more waiters behind it, then releases the gate: the second (and final)
+// sync must cover every queued waiter, giving exactly 2 device syncs for
+// N+1 requests.
+func TestFlushAsyncCoalesces(t *testing.T) {
+	store := newGatedStore()
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.arm()
+
+	first := mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 1})
+	ch0 := l.FlushAsync(first)
+	<-store.entered // leader is now blocked inside Sync for LSN `first`
+
+	const extra = 5
+	chans := make([]<-chan error, 0, extra)
+	for i := 0; i < extra; i++ {
+		lsn := mustAppend(t, l, &Record{Type: TypeUpdate, TxID: TxID(i + 2), Object: ObjectID(i + 2)})
+		chans = append(chans, l.FlushAsync(lsn))
+	}
+	// None of the later waiters may complete while the first sync is stuck.
+	for i, ch := range chans {
+		select {
+		case err := <-ch:
+			t.Fatalf("waiter %d completed before its records were synced (err=%v)", i, err)
+		default:
+		}
+	}
+
+	store.gate <- struct{}{} // release sync #1 (covers only `first`)
+	if err := <-ch0; err != nil {
+		t.Fatalf("first waiter: %v", err)
+	}
+	<-store.entered          // leader started sync #2 for the max queued LSN
+	store.gate <- struct{}{} // release it
+	for i, ch := range chans {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("waiter %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("waiter %d not released after covering sync", i)
+		}
+	}
+
+	if got := store.syncCount(); got != 2 {
+		t.Fatalf("device syncs = %d, want 2 (one per batch)", got)
+	}
+	st := l.Stats()
+	if st.GroupedFlushes != 2 {
+		t.Fatalf("GroupedFlushes = %d, want 2", st.GroupedFlushes)
+	}
+	if st.FlushWaiters != extra+1 {
+		t.Fatalf("FlushWaiters = %d, want %d", st.FlushWaiters, extra+1)
+	}
+}

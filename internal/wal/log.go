@@ -28,6 +28,13 @@ type AccessStats struct {
 	// RewriteFlushes those that had to patch already-stable bytes.
 	Rewrites       uint64
 	RewriteFlushes uint64
+	// GroupedFlushes counts device write+sync rounds performed by the
+	// group-commit leader (each also counts in Flushes); FlushWaiters the
+	// FlushAsync requests that queued behind one.  FlushWaiters /
+	// GroupedFlushes is the coalescing ratio: how many commits each
+	// device sync amortized over.
+	GroupedFlushes uint64
+	FlushWaiters   uint64
 }
 
 // Sub returns the element-wise difference s - o.
@@ -41,6 +48,8 @@ func (s AccessStats) Sub(o AccessStats) AccessStats {
 		RandomReads:     s.RandomReads - o.RandomReads,
 		Rewrites:        s.Rewrites - o.Rewrites,
 		RewriteFlushes:  s.RewriteFlushes - o.RewriteFlushes,
+		GroupedFlushes:  s.GroupedFlushes - o.GroupedFlushes,
+		FlushWaiters:    s.FlushWaiters - o.FlushWaiters,
 	}
 }
 
@@ -84,18 +93,46 @@ type Log struct {
 	flushedBytes int64 // bytes of data durably mirrored (excluding header)
 	flushedLSN   LSN
 
+	// Group-flush state (see FlushAsync).  flushQ holds pending waiters;
+	// flushLeader is true while a leader goroutine is draining the queue;
+	// flushInFlight is true while the leader has released mu for device
+	// I/O — every other device writer (Flush, Rewrite, Archive, Crash via
+	// loadFromStore) must wait for it via flushIdle.
+	flushQ        []flushWaiter
+	flushLeader   bool
+	flushInFlight bool
+	flushIdle     *sync.Cond
+	flushScratch  []byte
+
 	lastReadLSN LSN
 	stats       AccessStats
+}
+
+// flushWaiter is one FlushAsync request: release ch (with nil or an
+// error) once every record with LSN ≤ upTo is durable.
+type flushWaiter struct {
+	upTo LSN
+	ch   chan error
 }
 
 // NewLog creates a log on top of store, recovering any records already
 // present on the device (e.g. after a crash or a process restart).
 func NewLog(store Store) (*Log, error) {
 	l := &Log{store: store}
+	l.flushIdle = sync.NewCond(&l.mu)
 	if err := l.loadFromStore(); err != nil {
 		return nil, err
 	}
 	return l, nil
+}
+
+// waitFlushIdleLocked blocks (releasing l.mu) until no group-flush device
+// I/O is in flight.  Callers hold l.mu and must re-validate any state they
+// read before the wait.
+func (l *Log) waitFlushIdleLocked() {
+	for l.flushInFlight {
+		l.flushIdle.Wait()
+	}
 }
 
 // writeHeader persists the device header (magic + base LSN).
@@ -231,6 +268,7 @@ func (l *Log) FlushedLSN() LSN {
 func (l *Log) Flush(upTo LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.waitFlushIdleLocked()
 	if head := l.base + LSN(len(l.offsets)); upTo > head {
 		upTo = head
 	}
@@ -253,6 +291,125 @@ func (l *Log) Flush(upTo LSN) error {
 	l.stats.FlushedBytes += uint64(end - l.flushedBytes)
 	l.flushedBytes = end
 	l.flushedLSN = upTo
+	return nil
+}
+
+// FlushAsync makes every record with LSN ≤ upTo durable without holding the
+// caller on the device: the returned channel (buffered, never blocking the
+// sender) receives exactly one value — nil once the records are stable, or
+// the device error that prevented it.
+//
+// Concurrent requests are coalesced (group commit): waiters register their
+// target LSN, one leader goroutine performs a single write+Sync covering
+// the highest LSN queued, and every waiter whose target that round covers
+// is released together.  N committers thus pay ~1 device sync per batch
+// rather than N.  AccessStats records the batching: FlushWaiters counts
+// requests that queued, GroupedFlushes the leader rounds that served them.
+func (l *Log) FlushAsync(upTo LSN) <-chan error {
+	ch := make(chan error, 1)
+	l.mu.Lock()
+	if head := l.base + LSN(len(l.offsets)); upTo > head {
+		upTo = head
+	}
+	if upTo <= l.flushedLSN {
+		l.mu.Unlock()
+		ch <- nil
+		return ch
+	}
+	l.flushQ = append(l.flushQ, flushWaiter{upTo: upTo, ch: ch})
+	l.stats.FlushWaiters++
+	if !l.flushLeader {
+		l.flushLeader = true
+		go l.groupFlushLoop()
+	}
+	l.mu.Unlock()
+	return ch
+}
+
+// groupFlushLoop is the group-commit leader.  Each round it targets the
+// highest LSN queued, performs one device write+Sync for the whole range
+// (releasing l.mu for the I/O), then releases every waiter the new durable
+// horizon covers.  Requests arriving during the I/O join the next round.
+// The leader exits when the queue drains; the next FlushAsync elects a new
+// one.
+func (l *Log) groupFlushLoop() {
+	l.mu.Lock()
+	for len(l.flushQ) > 0 {
+		target := l.flushQ[0].upTo
+		for _, w := range l.flushQ[1:] {
+			if w.upTo > target {
+				target = w.upTo
+			}
+		}
+		// A Crash interleaved with this loop can shrink the head below a
+		// waiter's target (the record was lost with the volatile tail):
+		// clamp, and release such waiters below — the engine's crashed
+		// flag, rechecked by every committer, governs their fate.
+		head := l.base + LSN(len(l.offsets))
+		if target > head {
+			target = head
+		}
+		var err error
+		if target > l.flushedLSN {
+			err = l.flushRangeUnlatched(target)
+			head = l.base + LSN(len(l.offsets))
+		}
+		rest := l.flushQ[:0]
+		for _, w := range l.flushQ {
+			switch {
+			case w.upTo <= l.flushedLSN || w.upTo > head:
+				w.ch <- nil
+			case err != nil:
+				// This leader cannot make the waiter durable; it
+				// must see the failure rather than wait forever.
+				w.ch <- err
+			default:
+				rest = append(rest, w)
+			}
+		}
+		l.flushQ = rest
+	}
+	l.flushLeader = false
+	l.mu.Unlock()
+}
+
+// flushRangeUnlatched makes records through upTo durable while allowing
+// appends to proceed: the unflushed range is copied to a scratch buffer
+// under l.mu, the mutex is released for the device write+Sync (with
+// flushInFlight fencing out every other device writer), then re-acquired to
+// publish the new durable horizon.  Called only by the group-flush leader
+// with l.mu held and upTo ≤ head.
+func (l *Log) flushRangeUnlatched(upTo LSN) error {
+	var end int64
+	if int(upTo-l.base) == len(l.offsets) {
+		end = int64(len(l.data))
+	} else {
+		end = int64(l.offsets[upTo-l.base])
+	}
+	start := l.flushedBytes
+	l.flushScratch = append(l.flushScratch[:0], l.data[start:end]...)
+	buf := l.flushScratch
+	l.flushInFlight = true
+	l.mu.Unlock()
+	_, werr := l.store.WriteAt(buf, logHeaderSize+start)
+	var serr error
+	if werr == nil {
+		serr = l.store.Sync()
+	}
+	l.mu.Lock()
+	l.flushInFlight = false
+	l.flushIdle.Broadcast()
+	if werr != nil {
+		return fmt.Errorf("wal: flush write: %w", werr)
+	}
+	if serr != nil {
+		return fmt.Errorf("wal: flush sync: %w", serr)
+	}
+	l.flushedBytes = end
+	l.flushedLSN = upTo
+	l.stats.Flushes++
+	l.stats.GroupedFlushes++
+	l.stats.FlushedBytes += uint64(end - start)
 	return nil
 }
 
@@ -331,6 +488,7 @@ func (l *Log) Scan(from, to LSN, fn func(*Record) (bool, error)) error {
 func (l *Log) Rewrite(lsn LSN, fn func(*Record)) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.waitFlushIdleLocked()
 	if lsn != NilLSN && lsn <= l.base {
 		return fmt.Errorf("%w: %d", ErrArchived, lsn)
 	}
@@ -380,6 +538,13 @@ func (l *Log) Rewrite(lsn LSN, fn func(*Record)) error {
 func (l *Log) Crash() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Let any in-flight group flush finish its device I/O: a write that
+	// has already been issued to the device is not undone by losing the
+	// process, and re-reading the store mid-write would tear it.  Pending
+	// waiters are released normally by the leader (it holds l.mu between
+	// rounds, so it drains before we proceed whenever it is mid-queue);
+	// their transactions then observe the engine's crashed flag.
+	l.waitFlushIdleLocked()
 	stats := l.stats
 	if err := l.loadFromStore(); err != nil {
 		return err
@@ -404,6 +569,7 @@ func (l *Log) Stats() AccessStats {
 func (l *Log) Archive(upTo LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.waitFlushIdleLocked()
 	if upTo <= l.base {
 		return nil
 	}
