@@ -1,14 +1,25 @@
 # Development targets for the ARIES/RH reproduction.
 #
 #   make check     vet + build + full test suite + short race pass
+#   make ci        what .github/workflows/ci.yml runs (check + short fuzz)
 #   make race      race-detector run of the concurrency-sensitive packages
 #   make bench-e8  regenerate BENCH_E8.json (quick sizes)
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-e8
+.PHONY: check ci vet build test race fuzz-short bench bench-e8
 
 check: vet build test race
+
+# Mirror of the CI pipeline: full race (not -short) on the latch-heavy
+# packages plus a short fuzz pass over both wire-format decoders.
+ci: vet build test
+	$(GO) test -race ./internal/core ./internal/wal
+	$(MAKE) fuzz-short
+
+fuzz-short:
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 30s
+	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 30s
 
 vet:
 	$(GO) vet ./...

@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 
 	"ariesrh/internal/core"
+	"ariesrh/internal/obs"
 	"ariesrh/internal/storage"
 	"ariesrh/internal/wal"
 )
@@ -190,6 +191,38 @@ func (db *DB) ResponsibleFor(lsn uint64) (TxID, error) {
 
 // Stats returns engine counters (updates, delegations, recovery work...).
 func (db *DB) Stats() core.Stats { return db.eng.Stats() }
+
+// MetricsSnapshot is a point-in-time copy of every metric in the
+// database's registry (re-exported from internal/obs).  Subtract two
+// snapshots with Sub for a per-interval delta; Format renders one for
+// humans.
+type MetricsSnapshot = obs.Snapshot
+
+// Event is one structured trace event delivered to the hook installed by
+// SetEventHook (re-exported from internal/obs).
+type Event = obs.Event
+
+// RecoveryTrace describes the most recent recovery run: per-phase
+// durations, records scanned and redone, backward-sweep visit counts,
+// clusters swept and CLRs written.
+type RecoveryTrace = core.RecoveryTrace
+
+// Metrics returns a snapshot of the full metric registry: engine
+// operation counters and latency histograms, WAL append/flush/scan
+// counters (including group-commit coalescing), buffer-pool
+// hit/miss/eviction counters and lock-manager wait counters.
+func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics() }
+
+// SetEventHook installs fn to receive structured trace events
+// (transaction terminations, delegations, group flushes, undo visits,
+// recovery completion); nil uninstalls.  The hook runs synchronously on
+// the emitting goroutine, often with internal latches held: it must be
+// fast and must not call back into the database.
+func (db *DB) SetEventHook(fn func(Event)) { db.eng.SetEventHook(fn) }
+
+// LastRecoveryTrace returns the trace of the most recent Recover (zero
+// value if recovery has not run).
+func (db *DB) LastRecoveryTrace() RecoveryTrace { return db.eng.LastRecoveryTrace() }
 
 // Engine exposes the underlying engine for tools and benchmarks.
 func (db *DB) Engine() *core.Engine { return db.eng }

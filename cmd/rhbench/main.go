@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e8, a1, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e9, a1, or all")
 	quick := flag.Bool("quick", false, "use smaller workload sizes")
 	jsonPath := flag.String("json", "", "also write the tables as a JSON array to this file")
 	flag.Parse()
@@ -67,6 +67,13 @@ func main() {
 		{"a1", func() (*bench.Table, error) {
 			return bench.A1ClusterSweepAblation(6000/scale, []float64{0, 0.10, 0.40})
 		}},
+		{"e9", func() (*bench.Table, error) {
+			txns, updates := 200, 8
+			if *quick {
+				txns = 50
+			}
+			return bench.E9MetricsInvariants(txns, updates, 64)
+		}},
 		{"e8", func() (*bench.Table, error) {
 			// No 2-committer point: two workers pipeline-alternate behind
 			// the device (each sync covers exactly one commit record), so
@@ -96,7 +103,7 @@ func main() {
 		tables = append(tables, table)
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want e1..e8, a1, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want e1..e9, a1, or all)", *exp)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")

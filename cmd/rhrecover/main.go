@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
+	"time"
 
 	"ariesrh/internal/core"
 	"ariesrh/internal/sim"
@@ -26,6 +28,7 @@ func main() {
 	ckpt := flag.Bool("ckpt", true, "take a fuzzy checkpoint mid-run")
 	crashes := flag.Int("crashes", 1, "number of crash/recover cycles (tests CLR idempotency)")
 	failpoint := flag.Int("failpoint", 0, "inject a second crash after N CLRs of the first recovery's backward pass")
+	metrics := flag.Bool("metrics", false, "print the engine metrics snapshot and the last recovery trace")
 	flag.Parse()
 
 	cfg := sim.Config{
@@ -106,6 +109,18 @@ func main() {
 		s.RecBackwardVisited-before.RecBackwardVisited,
 		s.RecBackwardSkipped-before.RecBackwardSkipped,
 		s.RecCLRs-before.RecCLRs)
+
+	if *metrics {
+		tr := engine.LastRecoveryTrace()
+		fmt.Printf("last recovery trace: forward %v (%d records, %d redone) + backward %v (%d visited, %d skipped, %d clusters, %d CLRs) = %v\n",
+			tr.ForwardDur.Round(time.Microsecond), tr.ForwardRecords, tr.Redone,
+			tr.BackwardDur.Round(time.Microsecond), tr.BackwardVisited, tr.BackwardSkipped, tr.Clusters, tr.CLRs,
+			tr.TotalDur.Round(time.Microsecond))
+		fmt.Println("metrics snapshot:")
+		for _, line := range strings.Split(strings.TrimRight(engine.Metrics().Format(), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 
 	oracle.CrashRecover(losers)
 	mismatches := 0

@@ -440,6 +440,11 @@ func decodeCkpt(buf []byte) (beginLSN wal.LSN, infos []txn.Info, dpt map[storage
 	}
 	m := int(binary.LittleEndian.Uint32(buf[off:]))
 	off += 4
+	// m comes off the wire; each entry is 12 bytes, so the buffer bounds
+	// the real count.  Reject absurd values instead of pre-allocating.
+	if m > (len(buf)-off)/12 {
+		return 0, nil, nil, bad
+	}
 	dpt = make(map[storage.PageID]wal.LSN, m)
 	for i := 0; i < m; i++ {
 		if !need(12) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ariesrh/internal/obs"
 	"ariesrh/internal/storage"
 	"ariesrh/internal/wal"
 )
@@ -60,6 +61,32 @@ type Pool struct {
 	lru    *list.List // of *frame, least recently used at the front
 	dirty  map[storage.PageID]wal.LSN
 	stats  PoolStats
+	met    poolMetrics
+}
+
+// poolMetrics holds the pool's pre-resolved metric handles.  A fresh pool
+// binds them to a private registry so they are never nil; the owning
+// engine rebinds them to its own registry via Instrument.
+type poolMetrics struct {
+	hits, misses, evictions, flushes, walForces *obs.Counter
+}
+
+func bindPoolMetrics(r *obs.Registry) poolMetrics {
+	return poolMetrics{
+		hits:      r.Counter("buffer.hits"),
+		misses:    r.Counter("buffer.misses"),
+		evictions: r.Counter("buffer.evictions"),
+		flushes:   r.Counter("buffer.flushes"),
+		walForces: r.Counter("buffer.wal_forces"),
+	}
+}
+
+// Instrument rebinds the pool's metrics to reg (see internal/obs).  Call
+// it at construction time, before the pool is shared.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.met = bindPoolMetrics(reg)
 }
 
 // NewPool creates a pool of the given capacity over disk.  flushLog is
@@ -79,6 +106,7 @@ func NewPool(disk storage.DiskManager, capacity int, flushLog func(wal.LSN) erro
 		frames:   make(map[storage.PageID]*frame),
 		lru:      list.New(),
 		dirty:    make(map[storage.PageID]wal.LSN),
+		met:      bindPoolMetrics(obs.NewRegistry()),
 	}
 }
 
@@ -90,6 +118,7 @@ func (p *Pool) Fetch(pid storage.PageID) (*storage.Page, error) {
 	defer p.mu.Unlock()
 	if f, ok := p.frames[pid]; ok {
 		p.stats.Hits++
+		p.met.hits.Inc()
 		if f.elem != nil {
 			p.lru.Remove(f.elem)
 			f.elem = nil
@@ -98,6 +127,7 @@ func (p *Pool) Fetch(pid storage.PageID) (*storage.Page, error) {
 		return f.page, nil
 	}
 	p.stats.Misses++
+	p.met.misses.Inc()
 	if err := p.evictForSpaceLocked(); err != nil {
 		return nil, err
 	}
@@ -121,9 +151,11 @@ func (p *Pool) Prefault(pid storage.PageID) error {
 	defer p.mu.Unlock()
 	if _, ok := p.frames[pid]; ok {
 		p.stats.Hits++
+		p.met.hits.Inc()
 		return nil
 	}
 	p.stats.Misses++
+	p.met.misses.Inc()
 	if err := p.evictForSpaceLocked(); err != nil {
 		return err
 	}
@@ -156,11 +188,13 @@ func (p *Pool) evictForSpaceLocked() error {
 	p.lru.Remove(e)
 	delete(p.frames, victim.pid)
 	p.stats.Evictions++
+	p.met.evictions.Inc()
 	return nil
 }
 
 // flushFrameLocked writes one dirty frame to disk, honoring the WAL rule.
 func (p *Pool) flushFrameLocked(f *frame) error {
+	p.met.walForces.Inc()
 	if err := p.flushLog(f.page.LSN); err != nil {
 		return fmt.Errorf("buffer: WAL flush before evicting page %d: %w", f.pid, err)
 	}
@@ -170,6 +204,7 @@ func (p *Pool) flushFrameLocked(f *frame) error {
 	f.dirty = false
 	delete(p.dirty, f.pid)
 	p.stats.Flushes++
+	p.met.flushes.Inc()
 	return nil
 }
 

@@ -156,6 +156,7 @@ func (e *Engine) undoIncrement(owner wal.TxID, rec *wal.Record) error {
 		info.LastLSN = lsn
 	}
 	e.stats.CLRs++
+	e.met.clrs.Inc()
 	return nil
 }
 

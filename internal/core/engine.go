@@ -25,13 +25,13 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"ariesrh/internal/buffer"
 	"ariesrh/internal/delegation"
 	"ariesrh/internal/lock"
 	"ariesrh/internal/object"
+	"ariesrh/internal/obs"
 	"ariesrh/internal/storage"
 	"ariesrh/internal/txn"
 	"ariesrh/internal/wal"
@@ -138,6 +138,13 @@ type Engine struct {
 	stats   Stats
 	opts    Options
 
+	// reg is the engine's metric registry; every component (WAL, buffer
+	// pool, lock manager) binds its handles to it.  met caches the
+	// engine's own handles; lastTrace records the most recent Recover.
+	reg       *obs.Registry
+	met       engineMetrics
+	lastTrace RecoveryTrace
+
 	// recoveryFailpoint, when positive, makes the NEXT Recover fail
 	// after that many backward-pass CLRs — fault injection for
 	// crash-during-recovery testing.  One-shot; cleared when it fires.
@@ -162,6 +169,7 @@ func New(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := obs.NewRegistry()
 	e := &Engine{
 		log:    log,
 		disk:   opts.Disk,
@@ -171,8 +179,13 @@ func New(opts Options) (*Engine, error) {
 		deps:   make(map[wal.TxID][]depEdge),
 		master: &masterRecord{store: opts.MasterStore},
 		opts:   opts,
+		reg:    reg,
+		met:    bindEngineMetrics(reg),
 	}
+	e.log.Instrument(reg)
+	e.locks.Instrument(reg)
 	e.pool = buffer.NewPool(opts.Disk, opts.PoolSize, func(lsn wal.LSN) error { return e.log.Flush(lsn) })
+	e.pool.Instrument(reg)
 	e.store, err = object.Open(e.pool, opts.Disk)
 	if err != nil {
 		return nil, err
@@ -249,6 +262,12 @@ func (e *Engine) ResponsibleFor(lsn wal.LSN) (wal.TxID, error) {
 // OpList returns the LSNs of the updates tx is currently responsible for —
 // the paper's Op_List(t) (§2.1.1), computed from scopes by interpreting
 // the log.  Sorted ascending.
+//
+// The whole list is produced by one bounded Scan over [min First,
+// max Last] with a per-record filter.  Interleaved scopes would make a
+// per-scope walk re-read the shared range once per scope with a latched
+// Get per LSN, and a scope reaching below the archived log base would
+// error; Scan reads each position once and starts above the base.
 func (e *Engine) OpList(tx wal.TxID) ([]wal.LSN, error) {
 	e.mu.Lock()
 	ol, ok := e.state[tx]
@@ -259,19 +278,34 @@ func (e *Engine) OpList(tx wal.TxID) ([]wal.LSN, error) {
 	scopes := ol.AllScopes()
 	e.mu.Unlock()
 
-	var out []wal.LSN
-	for _, s := range scopes {
-		for k := s.First; k <= s.Last; k++ {
-			rec, err := e.log.Get(k)
-			if err != nil {
-				return nil, err
-			}
-			if rec.Type == wal.TypeUpdate && rec.TxID == s.Invoker && rec.Object == s.Object {
-				out = append(out, k)
-			}
+	if len(scopes) == 0 {
+		return nil, nil
+	}
+	lo, hi := scopes[0].First, scopes[0].Last
+	for _, s := range scopes[1:] {
+		if s.First < lo {
+			lo = s.First
+		}
+		if s.Last > hi {
+			hi = s.Last
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	var out []wal.LSN
+	err := e.log.Scan(lo, hi, func(rec *wal.Record) (bool, error) {
+		if !rec.IsUndoable() {
+			return true, nil
+		}
+		for _, s := range scopes {
+			if s.Invoker == rec.TxID && s.Object == rec.Object && s.Contains(rec.LSN) {
+				out = append(out, rec.LSN)
+				break
+			}
+		}
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 

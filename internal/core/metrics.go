@@ -1,0 +1,110 @@
+package core
+
+import (
+	"time"
+
+	"ariesrh/internal/obs"
+)
+
+// engineMetrics holds the engine's pre-resolved metric handles (see
+// internal/obs).  The engine owns the registry; the WAL, buffer pool and
+// lock manager bind their own handles to the same registry at
+// construction, so one snapshot covers the whole stack.
+type engineMetrics struct {
+	begins, updates, reads, delegations, commits, aborts,
+	clrs, checkpoints *obs.Counter
+
+	// Backward-sweep counters, shared by normal-processing aborts and
+	// the recovery backward pass: positions visited, positions skipped
+	// between clusters, clusters entered.
+	undoVisited, undoSkipped, undoClusters *obs.Counter
+
+	// Recovery counters (cumulative over Recover calls).
+	recRuns, recForwardRecords, recRedone, recCLRs,
+	recLosers, recWinners *obs.Counter
+
+	// Per-operation end-to-end latency (lock waits included).
+	updateNs, delegateNs, commitNs, abortNs *obs.Histogram
+
+	// Per-phase recovery durations.
+	recForwardNs, recBackwardNs, recTotalNs *obs.Histogram
+}
+
+func bindEngineMetrics(r *obs.Registry) engineMetrics {
+	return engineMetrics{
+		begins:            r.Counter("core.begins"),
+		updates:           r.Counter("core.updates"),
+		reads:             r.Counter("core.reads"),
+		delegations:       r.Counter("core.delegations"),
+		commits:           r.Counter("core.commits"),
+		aborts:            r.Counter("core.aborts"),
+		clrs:              r.Counter("core.clrs"),
+		checkpoints:       r.Counter("core.checkpoints"),
+		undoVisited:       r.Counter("undo.visited"),
+		undoSkipped:       r.Counter("undo.skipped"),
+		undoClusters:      r.Counter("undo.clusters"),
+		recRuns:           r.Counter("recovery.runs"),
+		recForwardRecords: r.Counter("recovery.forward_records"),
+		recRedone:         r.Counter("recovery.redone"),
+		recCLRs:           r.Counter("recovery.clrs"),
+		recLosers:         r.Counter("recovery.losers"),
+		recWinners:        r.Counter("recovery.winners"),
+		updateNs:          r.Histogram("core.update_ns"),
+		delegateNs:        r.Histogram("core.delegate_ns"),
+		commitNs:          r.Histogram("core.commit_ns"),
+		abortNs:           r.Histogram("core.abort_ns"),
+		recForwardNs:      r.Histogram("recovery.forward_ns"),
+		recBackwardNs:     r.Histogram("recovery.backward_ns"),
+		recTotalNs:        r.Histogram("recovery.total_ns"),
+	}
+}
+
+// RecoveryTrace describes one Recover call: how long each phase took and
+// how much log it touched.  The counters here are per-run (unlike the
+// cumulative registry counters), which is what the claim tests and the
+// rhrecover tool want.
+type RecoveryTrace struct {
+	// Phase durations.
+	ForwardDur  time.Duration
+	BackwardDur time.Duration
+	TotalDur    time.Duration
+
+	// Forward pass: records scanned and redone.
+	ForwardRecords uint64
+	Redone         uint64
+
+	// Backward pass: positions visited by the cluster sweep, positions
+	// skipped between clusters, clusters entered, CLRs written.
+	BackwardVisited uint64
+	BackwardSkipped uint64
+	Clusters        uint64
+	CLRs            uint64
+
+	// Classification.
+	Losers  uint64
+	Winners uint64
+}
+
+// Registry returns the engine's metric registry.  Callers may read
+// metrics or install an event hook; they must not repurpose the registry
+// for unrelated series.
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Metrics returns a point-in-time snapshot of every metric in the
+// engine's registry — WAL, buffer pool, lock manager and engine series
+// together.  Subtract two snapshots (obs.Snapshot.Sub) for a delta.
+func (e *Engine) Metrics() obs.Snapshot { return e.reg.Snapshot() }
+
+// SetEventHook installs fn as the engine's structured event hook; nil
+// uninstalls.  The hook runs synchronously on the emitting goroutine,
+// often under the engine latch: it must be fast and must not call back
+// into the engine.
+func (e *Engine) SetEventHook(fn func(obs.Event)) { e.reg.SetEventHook(fn) }
+
+// LastRecoveryTrace returns the trace of the most recent Recover call
+// (zero value if Recover has not run).
+func (e *Engine) LastRecoveryTrace() RecoveryTrace {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastTrace
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ariesrh/internal/delegation"
 	"ariesrh/internal/lock"
+	"ariesrh/internal/obs"
 	"ariesrh/internal/txn"
 	"ariesrh/internal/wal"
 )
@@ -25,6 +27,7 @@ func (e *Engine) Begin() (wal.TxID, error) {
 	info.LastLSN = lsn
 	e.state[info.ID] = delegation.NewObList()
 	e.stats.Begins++
+	e.met.begins.Inc()
 	return info.ID, nil
 }
 
@@ -74,6 +77,7 @@ func (e *Engine) Read(tx wal.TxID, obj wal.ObjectID) ([]byte, error) {
 		return nil, err
 	}
 	e.stats.Reads++
+	e.met.reads.Inc()
 	return v, nil
 }
 
@@ -83,6 +87,7 @@ func (e *Engine) Read(tx wal.TxID, obj wal.ObjectID) ([]byte, error) {
 // last delegated obj; extend the active scope otherwise), and applies the
 // change in place.
 func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
+	start := time.Now()
 	e.mu.Lock()
 	if e.crashed {
 		e.mu.Unlock()
@@ -146,6 +151,8 @@ func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
 		return err
 	}
 	e.stats.Updates++
+	e.met.updates.Inc()
+	e.met.updateNs.Observe(time.Since(start))
 	return nil
 }
 
@@ -167,6 +174,7 @@ func (e *Engine) Delegate(tor, tee wal.TxID, obj wal.ObjectID) error {
 // Factored out so DelegateAll can apply a whole batch under one latch
 // acquisition.
 func (e *Engine) delegateLocked(tor, tee wal.TxID, obj wal.ObjectID) error {
+	start := time.Now()
 	if tor == tee {
 		return fmt.Errorf("core: delegate(t%d, t%d): delegator and delegatee must differ", tor, tee)
 	}
@@ -215,6 +223,11 @@ func (e *Engine) delegateLocked(tor, tee wal.TxID, obj wal.ObjectID) error {
 		teeInfo.LastLSN = lsn
 	}
 	e.stats.Delegations++
+	e.met.delegations.Inc()
+	e.met.delegateNs.Observe(time.Since(start))
+	if e.reg.HasEventHook() {
+		e.reg.Emit(obs.Event{Name: "txn.delegate", Tx: uint64(tor), LSN: uint64(lsn), Object: uint64(obj), Value: int64(tee)})
+	}
 	return nil
 }
 
@@ -289,6 +302,7 @@ func (e *Engine) ObjectsOf(tx wal.TxID) ([]wal.ObjectID, error) {
 // stalling behind it.  With GroupCommitOff every commit performs its own
 // synchronous flush under the latch, the pre-group-commit behavior.
 func (e *Engine) Commit(tx wal.TxID) error {
+	start := time.Now()
 	e.mu.Lock()
 	if e.crashed {
 		e.mu.Unlock()
@@ -303,7 +317,8 @@ func (e *Engine) Commit(tx wal.TxID) error {
 		e.mu.Unlock()
 		return err
 	}
-	lsn, err := e.log.Append(&wal.Record{Type: wal.TypeCommit, TxID: tx, PrevLSN: info.LastLSN})
+	prevLast := info.LastLSN
+	lsn, err := e.log.Append(&wal.Record{Type: wal.TypeCommit, TxID: tx, PrevLSN: prevLast})
 	if err != nil {
 		e.mu.Unlock()
 		return err
@@ -316,7 +331,7 @@ func (e *Engine) Commit(tx wal.TxID) error {
 		}
 		info.Status = txn.Committed
 		info.LastLSN = lsn
-		return e.finishCommitLocked(tx, info, lsn)
+		return e.finishCommitLocked(tx, info, lsn, start)
 	}
 
 	// Group commit.  The appended commit record is the commit point: mark
@@ -346,9 +361,13 @@ func (e *Engine) Commit(tx wal.TxID) error {
 		// was never acknowledged.  Return the transaction to Active —
 		// matching the synchronous path, where a failed flush also
 		// leaves the transaction alive (retriable, abortable,
-		// cascadable).
+		// cascadable) — and rewind LastLSN past the never-flushed
+		// commit record: the transaction's backward chain must head at
+		// its last update/CLR, or a subsequent Abort would hang its
+		// CLRs off a commit record that recovery may never see.
 		if info := e.txns.Get(tx); info != nil && info.Status == txn.Committed {
 			info.Status = txn.Active
+			info.LastLSN = prevLast
 		}
 		return ferr
 	}
@@ -356,13 +375,13 @@ func (e *Engine) Commit(tx wal.TxID) error {
 	if info == nil {
 		return fmt.Errorf("%w: %d", ErrNoSuchTxn, tx)
 	}
-	return e.finishCommitLocked(tx, info, lsn)
+	return e.finishCommitLocked(tx, info, lsn, start)
 }
 
 // finishCommitLocked completes a commit whose commit record (at lsn) is
 // durable: append the end record, release locks and clean up the volatile
 // tables.  The caller holds the latch and has already set info.Status.
-func (e *Engine) finishCommitLocked(tx wal.TxID, info *txn.Info, lsn wal.LSN) error {
+func (e *Engine) finishCommitLocked(tx wal.TxID, info *txn.Info, lsn wal.LSN, start time.Time) error {
 	endLSN, err := e.log.Append(&wal.Record{Type: wal.TypeEnd, TxID: tx, PrevLSN: lsn})
 	if err != nil {
 		return err
@@ -373,6 +392,11 @@ func (e *Engine) finishCommitLocked(tx wal.TxID, info *txn.Info, lsn wal.LSN) er
 	delete(e.deps, tx)
 	e.txns.Remove(tx)
 	e.stats.Commits++
+	e.met.commits.Inc()
+	e.met.commitNs.Observe(time.Since(start))
+	if e.reg.HasEventHook() {
+		e.reg.Emit(obs.Event{Name: "txn.commit", Tx: uint64(tx), LSN: uint64(lsn)})
+	}
 	return nil
 }
 
@@ -381,10 +405,52 @@ func (e *Engine) finishCommitLocked(tx wal.TxID, info *txn.Info, lsn wal.LSN) er
 // order using the scope machinery, writing a compensation log record per
 // undo.  Updates tx delegated away are NOT undone: they now belong to
 // their delegatee.
+//
+// With group commit (Options.GroupCommit, the default) the log force for
+// the abort record happens off-latch on the coalesced flusher
+// (wal.Log.FlushAsync), so concurrent aborts — and aborts racing commits —
+// share device syncs instead of serializing the whole engine behind one
+// sync per abort.  The abort itself (undo, abort and end records, lock
+// release, dependency cascade) still happens atomically under the latch,
+// exactly as in the synchronous path: ARIES does not require the abort
+// record to be durable before the abort completes — an abort that never
+// reaches the device is simply re-aborted idempotently by recovery — so
+// deferring the force changes only when Abort returns, not what state it
+// leaves behind.  With GroupCommitOff every abort performs its own
+// synchronous flush under the latch, the pre-group-commit behavior.
 func (e *Engine) Abort(tx wal.TxID) error {
+	start := time.Now()
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.abortLocked(tx)
+	if e.crashed {
+		e.mu.Unlock()
+		return ErrCrashed
+	}
+	if !e.opts.groupCommit() {
+		defer e.mu.Unlock()
+		if err := e.abortLocked(tx); err != nil {
+			return err
+		}
+		e.met.abortNs.Observe(time.Since(start))
+		return nil
+	}
+
+	// Group-commit mode: complete the abort — including any cascaded
+	// aborts, whose records are appended before we read Head — then wait
+	// for one coalesced flush covering all of it with the latch released.
+	if err := e.abortLocked(tx); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	ch := e.log.FlushAsync(e.log.Head())
+	e.mu.Unlock()
+	if ferr := <-ch; ferr != nil {
+		// The abort stands — the transaction is terminated and recovery
+		// would re-abort it regardless — but the device refused the
+		// force; surface that to the caller.
+		return ferr
+	}
+	e.met.abortNs.Observe(time.Since(start))
+	return nil
 }
 
 func (e *Engine) abortLocked(tx wal.TxID) error {
@@ -400,14 +466,19 @@ func (e *Engine) abortLocked(tx wal.TxID) error {
 	if err := e.undoScopes(e.state[tx].OwnedScopes(tx), nil); err != nil {
 		return err
 	}
-	// WRITE ABORT RECORD + FLUSH LOG.
+	// WRITE ABORT RECORD.  In group-commit mode the force is deferred to
+	// the top-level Abort's coalesced off-latch flush (every abort —
+	// cascaded ones included — runs under exactly one top-level Abort);
+	// with GroupCommitOff the record is forced here, under the latch.
 	info = e.txns.Get(tx) // lastLSN advanced by the CLRs
 	lsn, err := e.log.Append(&wal.Record{Type: wal.TypeAbort, TxID: tx, PrevLSN: info.LastLSN})
 	if err != nil {
 		return err
 	}
-	if err := e.log.Flush(lsn); err != nil {
-		return err
+	if !e.opts.groupCommit() {
+		if err := e.log.Flush(lsn); err != nil {
+			return err
+		}
 	}
 	info.Status = txn.Aborted
 	info.LastLSN = lsn
@@ -421,6 +492,10 @@ func (e *Engine) abortLocked(tx wal.TxID) error {
 	delete(e.deps, tx)
 	e.txns.Remove(tx)
 	e.stats.Aborts++
+	e.met.aborts.Inc()
+	if e.reg.HasEventHook() {
+		e.reg.Emit(obs.Event{Name: "txn.abort", Tx: uint64(tx), LSN: uint64(lsn)})
+	}
 	// Cascade: abort-dependents of tx must abort too.
 	return e.cascadeAbortsLocked(tx)
 }
@@ -432,12 +507,17 @@ func (e *Engine) abortLocked(tx wal.TxID) error {
 // recovery backward pass (all loser scopes).
 func (e *Engine) undoScopes(scopes []delegation.Scope, compensated map[wal.LSN]bool) error {
 	planner := delegation.NewPlanner(scopes)
+	hooked := e.reg.HasEventHook()
 	for {
 		k, ok := planner.Next()
 		if !ok {
 			break
 		}
 		e.stats.RecBackwardVisited++
+		e.met.undoVisited.Inc()
+		if hooked {
+			e.reg.Emit(obs.Event{Name: "undo.visit", LSN: uint64(k)})
+		}
 		rec, err := e.log.Get(k)
 		if err != nil {
 			return fmt.Errorf("core: undo sweep at %d: %w", k, err)
@@ -461,6 +541,8 @@ func (e *Engine) undoScopes(scopes []delegation.Scope, compensated map[wal.LSN]b
 		}
 	}
 	e.stats.RecBackwardSkipped += planner.Skipped
+	e.met.undoSkipped.Add(planner.Skipped)
+	e.met.undoClusters.Add(planner.Clusters)
 	return nil
 }
 
@@ -507,6 +589,7 @@ func (e *Engine) undoUpdate(owner wal.TxID, rec *wal.Record) error {
 		info.LastLSN = lsn
 	}
 	e.stats.CLRs++
+	e.met.clrs.Inc()
 	return nil
 }
 
@@ -543,5 +626,6 @@ func (e *Engine) Checkpoint() error {
 		return err
 	}
 	e.stats.Checkpoints++
+	e.met.checkpoints.Inc()
 	return nil
 }

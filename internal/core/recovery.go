@@ -3,8 +3,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"ariesrh/internal/delegation"
+	"ariesrh/internal/obs"
 	"ariesrh/internal/txn"
 	"ariesrh/internal/wal"
 )
@@ -42,6 +44,13 @@ func (e *Engine) Recover() error {
 	// half-built tables would double-apply delegate records.
 	e.txns.Reset(1)
 	e.state = delegation.State{}
+
+	// Trace bookkeeping: the per-run counters are computed as deltas of
+	// the cumulative stats (safe — the latch is held throughout).
+	e.met.recRuns.Inc()
+	totalStart := time.Now()
+	statsBefore := e.stats
+	clustersBefore := e.met.undoClusters.Load()
 
 	// ---- Locate the last complete checkpoint. ----
 	scanStart := wal.LSN(1)
@@ -92,6 +101,7 @@ func (e *Engine) Recover() error {
 	// younger records, making redo idempotent across repeated crashes.
 	applied := make(map[wal.ObjectID]wal.LSN)
 	compensated := make(map[wal.LSN]bool)
+	forwardStart := time.Now()
 	e.log.ResetReadCursor()
 	err := e.log.Scan(scanStart, wal.NilLSN, func(rec *wal.Record) (bool, error) {
 		e.stats.RecForwardRecords++
@@ -181,6 +191,7 @@ func (e *Engine) Recover() error {
 	if err != nil {
 		return err
 	}
+	forwardDur := time.Since(forwardStart)
 
 	// ---- Classify winners and losers; build LsrScopes (§3.6.1). ----
 	var losers []wal.TxID
@@ -206,6 +217,7 @@ func (e *Engine) Recover() error {
 	}
 
 	// ---- Backward pass: cluster sweep undoing loser updates (§3.6.2). ----
+	backwardStart := time.Now()
 	undoneBefore := e.stats.CLRs
 	if e.opts.FullScanUndo {
 		// Ablation: the rejected alternative — "scan all log records
@@ -219,6 +231,7 @@ func (e *Engine) Recover() error {
 	}
 	e.stats.RecCLRs += e.stats.CLRs - undoneBefore
 	e.stats.RecUndone += e.stats.CLRs - undoneBefore
+	backwardDur := time.Since(backwardStart)
 
 	// ---- Terminate losers. ----
 	for _, id := range losers {
@@ -243,6 +256,33 @@ func (e *Engine) Recover() error {
 		return err
 	}
 	e.crashed = false
+
+	// ---- Record the trace and the cumulative recovery metrics. ----
+	delta := func(after, before uint64) uint64 { return after - before }
+	e.lastTrace = RecoveryTrace{
+		ForwardDur:      forwardDur,
+		BackwardDur:     backwardDur,
+		TotalDur:        time.Since(totalStart),
+		ForwardRecords:  delta(e.stats.RecForwardRecords, statsBefore.RecForwardRecords),
+		Redone:          delta(e.stats.RecRedone, statsBefore.RecRedone),
+		BackwardVisited: delta(e.stats.RecBackwardVisited, statsBefore.RecBackwardVisited),
+		BackwardSkipped: delta(e.stats.RecBackwardSkipped, statsBefore.RecBackwardSkipped),
+		Clusters:        e.met.undoClusters.Load() - clustersBefore,
+		CLRs:            delta(e.stats.RecCLRs, statsBefore.RecCLRs),
+		Losers:          delta(e.stats.RecLosers, statsBefore.RecLosers),
+		Winners:         delta(e.stats.RecWinners, statsBefore.RecWinners),
+	}
+	e.met.recForwardRecords.Add(e.lastTrace.ForwardRecords)
+	e.met.recRedone.Add(e.lastTrace.Redone)
+	e.met.recCLRs.Add(e.lastTrace.CLRs)
+	e.met.recLosers.Add(e.lastTrace.Losers)
+	e.met.recWinners.Add(e.lastTrace.Winners)
+	e.met.recForwardNs.Observe(forwardDur)
+	e.met.recBackwardNs.Observe(backwardDur)
+	e.met.recTotalNs.Observe(e.lastTrace.TotalDur)
+	if e.reg.HasEventHook() {
+		e.reg.Emit(obs.Event{Name: "recovery.complete", Value: int64(e.lastTrace.CLRs), Dur: e.lastTrace.TotalDur})
+	}
 	// RecoveryComplete.
 	return nil
 }
@@ -266,8 +306,13 @@ func (e *Engine) undoScopesFullScan(scopes []delegation.Scope, compensated map[w
 			high = s.Last
 		}
 	}
+	hooked := e.reg.HasEventHook()
 	for k := high; k >= low && k != wal.NilLSN; k-- {
 		e.stats.RecBackwardVisited++
+		e.met.undoVisited.Inc()
+		if hooked {
+			e.reg.Emit(obs.Event{Name: "undo.visit", LSN: uint64(k)})
+		}
 		rec, err := e.log.Get(k)
 		if err != nil {
 			return err

@@ -100,6 +100,14 @@ func DecodeState(buf []byte) (State, error) {
 	if err != nil {
 		return nil, err
 	}
+	// nTx comes off the wire: cap the pre-allocation so a corrupt count
+	// costs a parse error, not an out-of-memory allocation.  Each encoded
+	// transaction is at least 8 bytes, so the buffer itself bounds the
+	// real entry count.
+	maxTx := uint32(len(d.buf) / 8)
+	if nTx > maxTx {
+		return nil, fmt.Errorf("delegation: state claims %d transactions in %d bytes", nTx, len(d.buf))
+	}
 	st := make(State, nTx)
 	for i := uint32(0); i < nTx; i++ {
 		txRaw, err := d.u32()

@@ -30,6 +30,10 @@ type Planner struct {
 	// jumped over between clusters.  The benchmark harness reports both.
 	Visited uint64
 	Skipped uint64
+	// Clusters counts the clusters of overlapping scopes swept: it is
+	// incremented when the sweep enters its first cluster and on every
+	// β-jump to the next one.
+	Clusters uint64
 }
 
 type clusterKey struct {
@@ -82,6 +86,7 @@ func (p *Planner) Next() (wal.LSN, bool) {
 		}
 		p.k = p.heap[0].Last
 		p.begCluster = p.k
+		p.Clusters++
 		p.absorb()
 		p.Visited++
 		return p.k, true
@@ -103,6 +108,7 @@ func (p *Planner) Next() (wal.LSN, bool) {
 			p.k = next
 		}
 		p.begCluster = p.k
+		p.Clusters++
 	}
 	p.absorb() // α1
 	p.Visited++

@@ -12,7 +12,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"ariesrh/internal/obs"
 	"ariesrh/internal/wal"
 )
 
@@ -87,6 +89,34 @@ type Manager struct {
 	held map[wal.TxID]map[wal.ObjectID]struct{}
 	// waitsFor maps a blocked transaction to the transactions it waits on.
 	waitsFor map[wal.TxID]map[wal.TxID]struct{}
+	met      lockMetrics
+}
+
+// lockMetrics holds the manager's pre-resolved metric handles.  A fresh
+// manager binds them to a private registry so they are never nil; the
+// owning engine rebinds them to its own registry via Instrument.
+type lockMetrics struct {
+	acquires, waits, deadlocks, shares, transfers *obs.Counter
+	waitNs                                        *obs.Histogram
+}
+
+func bindLockMetrics(r *obs.Registry) lockMetrics {
+	return lockMetrics{
+		acquires:  r.Counter("lock.acquires"),
+		waits:     r.Counter("lock.waits"),
+		deadlocks: r.Counter("lock.deadlocks"),
+		shares:    r.Counter("lock.shares"),
+		transfers: r.Counter("lock.transfers"),
+		waitNs:    r.Histogram("lock.wait_ns"),
+	}
+}
+
+// Instrument rebinds the manager's metrics to reg (see internal/obs).
+// Call it at construction time, before the manager is shared.
+func (m *Manager) Instrument(reg *obs.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met = bindLockMetrics(reg)
 }
 
 // NewManager returns an empty lock manager.
@@ -95,6 +125,7 @@ func NewManager() *Manager {
 		locks:    make(map[wal.ObjectID]*lockState),
 		held:     make(map[wal.TxID]map[wal.ObjectID]struct{}),
 		waitsFor: make(map[wal.TxID]map[wal.TxID]struct{}),
+		met:      bindLockMetrics(obs.NewRegistry()),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -118,19 +149,30 @@ func (m *Manager) Acquire(tx wal.TxID, obj wal.ObjectID, mode Mode) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	ls := m.state(obj)
+	m.met.acquires.Inc()
 	if hm, ok := ls.holders[tx]; ok && (hm == Exclusive || hm == mode) {
 		return nil // already covered
 	}
 	ls.queue = append(ls.queue, request{tx: tx, mode: mode})
+	var waitStart time.Time
 	for !m.isGrantableLocked(ls, tx, mode) {
+		if waitStart.IsZero() {
+			waitStart = time.Now()
+			m.met.waits.Inc()
+		}
 		m.recordWaitsLocked(ls, tx, mode)
 		if m.hasCycleLocked(tx) {
 			m.removeRequestLocked(ls, tx, mode)
 			delete(m.waitsFor, tx)
+			m.met.deadlocks.Inc()
+			m.met.waitNs.Observe(time.Since(waitStart))
 			m.cond.Broadcast()
 			return fmt.Errorf("%w: transaction %d victimized on object %d", ErrDeadlock, tx, obj)
 		}
 		m.cond.Wait()
+	}
+	if !waitStart.IsZero() {
+		m.met.waitNs.Observe(time.Since(waitStart))
 	}
 	delete(m.waitsFor, tx)
 	m.removeRequestLocked(ls, tx, mode)
@@ -254,6 +296,7 @@ func (m *Manager) Share(from, to wal.TxID, obj wal.ObjectID) error {
 	if !ok {
 		return fmt.Errorf("lock: share of object %d from t%d which holds no lock", obj, from)
 	}
+	m.met.shares.Inc()
 	if tm, held := ls.holders[to]; held {
 		ls.holders[to] = combineModes(tm, fm)
 	} else {
@@ -278,6 +321,7 @@ func (m *Manager) Transfer(from, to wal.TxID, obj wal.ObjectID) error {
 	if !ok {
 		return fmt.Errorf("lock: transfer of object %d from t%d which holds no lock", obj, from)
 	}
+	m.met.transfers.Inc()
 	delete(ls.holders, from)
 	if m.held[from] != nil {
 		delete(m.held[from], obj)

@@ -1,0 +1,56 @@
+package obs
+
+import "time"
+
+// Event is one structured trace event.  Fields are plain integers rather
+// than the wal package's named types so obs stays dependency-free (it is
+// imported by wal itself); emitters widen, hooks narrow.  Unused fields
+// are zero.
+type Event struct {
+	// Name identifies the event, dotted like metric names
+	// (e.g. "recovery.undo.visit", "txn.commit").
+	Name string
+	// Tx is the transaction involved (0 = none).
+	Tx uint64
+	// LSN is the log position involved (0 = none).
+	LSN uint64
+	// Object is the object involved (0 = none).
+	Object uint64
+	// Value carries an event-specific quantity (records visited, waiters
+	// released, ...).
+	Value int64
+	// Dur carries an event-specific duration (op latency, phase
+	// duration, ...).
+	Dur time.Duration
+}
+
+// eventHook wraps the hook function for atomic.Value (which requires a
+// consistent concrete type).
+type eventHook struct{ fn func(Event) }
+
+// SetEventHook installs fn as the registry's event hook; nil uninstalls.
+// At most one hook is active; installing replaces the previous one.
+//
+// The hook runs synchronously on the emitting goroutine — often while an
+// engine latch is held — so it must be fast and must not call back into
+// the engine.  Record what you need and return; offload to a channel if
+// processing is heavy.
+func (r *Registry) SetEventHook(fn func(Event)) {
+	r.hook.Store(eventHook{fn: fn})
+}
+
+// Emit delivers ev to the installed hook, if any.  Without a hook the
+// cost is one atomic load.
+func (r *Registry) Emit(ev Event) {
+	h, _ := r.hook.Load().(eventHook)
+	if h.fn != nil {
+		h.fn(ev)
+	}
+}
+
+// HasEventHook reports whether a hook is installed; emitters building an
+// expensive event can skip construction when no one is listening.
+func (r *Registry) HasEventHook() bool {
+	h, _ := r.hook.Load().(eventHook)
+	return h.fn != nil
+}

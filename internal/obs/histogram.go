@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of histogram buckets.  Bucket i counts
+// observations v (in nanoseconds) with 2^(i-1) < v ≤ 2^i (bucket 0 counts
+// v ≤ 1); the last bucket absorbs everything larger.  48 buckets cover
+// 1ns through ~78 hours, so no realistic latency saturates the range.
+const NumBuckets = 48
+
+// Histogram is a fixed log2-bucket latency histogram.  Observations are
+// lock-free; buckets, count, sum and max are all atomics, so a snapshot
+// taken concurrently with observations is approximate at the margin but
+// never torn in a way that matters for reporting.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// bucketOf returns the bucket index for a nanosecond value: bucket i
+// holds 2^(i-1) < ns ≤ 2^i, so the right edge of bucket i is 2^i.
+func bucketOf(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns - 1))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNs(int64(d)) }
+
+// ObserveNs records one nanosecond value.
+func (h *Histogram) ObserveNs(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Max     int64
+	Buckets [NumBuckets]uint64
+}
+
+// Snapshot copies the current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Sub returns the bucket-wise delta s - prev.  Max is kept from s (the
+// later snapshot): per-interval maxima are not recoverable from two
+// cumulative snapshots.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: s.Count - prev.Count,
+		Sum:   s.Sum - prev.Sum,
+		Max:   s.Max,
+	}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the mean observation in nanoseconds (0 when empty).
+func (s HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / int64(s.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) in
+// nanoseconds: the right edge of the bucket the q-th observation falls
+// into.  Log-bucket resolution — within a factor of 2.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var seen uint64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen > rank {
+			edge := int64(1) << i // right edge of bucket i
+			if edge > s.Max && s.Max > 0 {
+				return s.Max
+			}
+			return edge
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,228 @@
+// Package obs is the observability layer of the repository: dependency-free
+// atomic counters, gauges and log-scale latency histograms collected in a
+// named Registry, plus a structured event hook for tracing.
+//
+// The paper's efficiency claims (§4.2 C1–C3) are phrased in units this
+// package counts — log records appended, flushed, visited, skipped —
+// and the claim tests in internal/core assert them as metric invariants
+// rather than arguing them in prose.  Every engine instance owns one
+// Registry; the components it is built from (WAL, buffer pool, lock
+// manager) bind their metric handles to it at construction via their
+// Instrument methods, so a snapshot of the registry is a coherent picture
+// of the whole stack.
+//
+// All mutators are lock-free atomics and safe for concurrent use; metric
+// handles are resolved once (Registry.Counter et al.) and then updated
+// without any map lookup, so instrumented hot paths pay one atomic add.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 (last-write-wins).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry is a named collection of metrics.  Metric constructors are
+// get-or-create: asking twice for the same name returns the same handle,
+// so independently instrumented components may share series.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	// hook holds the installed event hook (type eventHook); see event.go.
+	hook atomic.Value
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics.  Snapshots
+// are plain values: subtract two (Sub) for a per-interval delta, or
+// Format one for humans.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Counter returns the named counter's value (0 if absent).
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// Gauge returns the named gauge's value (0 if absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Histogram returns the named histogram's snapshot (zero value if absent).
+func (s Snapshot) Histogram(name string) HistogramSnapshot { return s.Histograms[name] }
+
+// Sub returns the delta s - prev: counters and histogram totals are
+// subtracted element-wise; gauges keep their current (s) value, since a
+// gauge delta is rarely meaningful.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		out.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		out.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = h.Sub(prev.Histograms[name])
+	}
+	return out
+}
+
+// Format renders the snapshot as aligned, sorted text: counters and
+// gauges one per line, histograms with count/mean/p50/p99/max.  Zero
+// counters are omitted to keep tool output readable.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges))
+	width := 0
+	for name, v := range s.Counters {
+		if v == 0 {
+			continue
+		}
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	for name := range s.Gauges {
+		names = append(names, name)
+		if len(name) > width {
+			width = len(name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v, ok := s.Counters[name]; ok {
+			fmt.Fprintf(&b, "%-*s %d\n", width, name, v)
+		} else {
+			fmt.Fprintf(&b, "%-*s %d\n", width, name, s.Gauges[name])
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		if s.Histograms[name].Count > 0 {
+			hnames = append(hnames, name)
+		}
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		fmt.Fprintf(&b, "%s  count=%d mean=%s p50=%s p99=%s max=%s\n",
+			name, h.Count, fmtNs(h.Mean()), fmtNs(h.Quantile(0.50)), fmtNs(h.Quantile(0.99)), fmtNs(h.Max))
+	}
+	return b.String()
+}
+
+// fmtNs renders a nanosecond quantity with a human unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("Counter is not get-or-create")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Load(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+}
+
+func TestSnapshotSubDelta(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Add(10)
+	before := r.Snapshot()
+	c.Add(7)
+	r.Gauge("depth").Set(3)
+	delta := r.Snapshot().Sub(before)
+	if got := delta.Counter("ops"); got != 7 {
+		t.Fatalf("delta ops = %d, want 7", got)
+	}
+	if got := delta.Gauge("depth"); got != 3 {
+		t.Fatalf("delta gauge = %d, want 3 (gauges keep current value)", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations of 1µs, one of 1ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Microsecond)
+	}
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 101 {
+		t.Fatalf("count = %d, want 101", s.Count)
+	}
+	if s.Max != int64(time.Millisecond) {
+		t.Fatalf("max = %d, want 1ms", s.Max)
+	}
+	if got := s.Mean(); got < int64(time.Microsecond) || got > int64(time.Millisecond) {
+		t.Fatalf("mean = %d out of range", got)
+	}
+	// p50 must bound 1µs within its log2 bucket; p100 hits the max.
+	if q := s.Quantile(0.5); q < int64(time.Microsecond) || q > 2*int64(time.Microsecond) {
+		t.Fatalf("p50 = %d, want within [1µs, 2µs]", q)
+	}
+	if q := s.Quantile(1); q != s.Max {
+		t.Fatalf("p100 = %d, want max %d", q, s.Max)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1 << 46, 46}, {1<<47 + 1, NumBuckets - 1}, {1 << 62, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestConcurrentMutators(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("lat")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.ObserveNs(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := h.Snapshot().Count; got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestEventHook(t *testing.T) {
+	r := NewRegistry()
+	if r.HasEventHook() {
+		t.Fatal("fresh registry claims a hook")
+	}
+	r.Emit(Event{Name: "dropped"}) // no hook: must be a no-op
+	var got []Event
+	r.SetEventHook(func(ev Event) { got = append(got, ev) })
+	if !r.HasEventHook() {
+		t.Fatal("hook not installed")
+	}
+	r.Emit(Event{Name: "a", LSN: 7, Value: 2})
+	r.SetEventHook(nil)
+	r.Emit(Event{Name: "after-uninstall"})
+	if len(got) != 1 || got[0].Name != "a" || got[0].LSN != 7 || got[0].Value != 2 {
+		t.Fatalf("hook saw %v, want exactly the one installed-window event", got)
+	}
+}
+
+func TestFormatIncludesNonZeroSeries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("wal.appends").Add(3)
+	r.Counter("zero.series") // stays 0: omitted
+	r.Gauge("pool.size").Set(128)
+	r.Histogram("op.ns").Observe(time.Microsecond)
+	out := r.Snapshot().Format()
+	for _, want := range []string{"wal.appends", "pool.size", "op.ns", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "zero.series") {
+		t.Fatalf("Format output includes zero counter:\n%s", out)
+	}
+}

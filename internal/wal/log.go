@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
+
+	"ariesrh/internal/obs"
 )
 
 // AccessStats counts log accesses in the units the paper's efficiency
@@ -106,6 +109,49 @@ type Log struct {
 
 	lastReadLSN LSN
 	stats       AccessStats
+	met         logMetrics
+}
+
+// logMetrics holds the log's pre-resolved obs handles.  A fresh Log binds
+// them to a private registry so they are never nil; the owning engine
+// rebinds them to its own registry via Instrument.
+type logMetrics struct {
+	reg            *obs.Registry
+	appends        *obs.Counter
+	flushes        *obs.Counter
+	flushedBytes   *obs.Counter
+	groupedFlushes *obs.Counter
+	flushWaiters   *obs.Counter
+	reads          *obs.Counter
+	scans          *obs.Counter
+	archives       *obs.Counter
+	rewrites       *obs.Counter
+	flushNs        *obs.Histogram
+}
+
+func bindLogMetrics(r *obs.Registry) logMetrics {
+	return logMetrics{
+		reg:            r,
+		appends:        r.Counter("wal.appends"),
+		flushes:        r.Counter("wal.flushes"),
+		flushedBytes:   r.Counter("wal.flushed_bytes"),
+		groupedFlushes: r.Counter("wal.grouped_flushes"),
+		flushWaiters:   r.Counter("wal.flush_waiters"),
+		reads:          r.Counter("wal.reads"),
+		scans:          r.Counter("wal.scans"),
+		archives:       r.Counter("wal.archives"),
+		rewrites:       r.Counter("wal.rewrites"),
+		flushNs:        r.Histogram("wal.flush_ns"),
+	}
+}
+
+// Instrument rebinds the log's metrics to reg (see internal/obs).  The
+// counters restart from reg's current values; call it at construction
+// time, before traffic.
+func (l *Log) Instrument(reg *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.met = bindLogMetrics(reg)
 }
 
 // flushWaiter is one FlushAsync request: release ch (with nil or an
@@ -118,7 +164,7 @@ type flushWaiter struct {
 // NewLog creates a log on top of store, recovering any records already
 // present on the device (e.g. after a crash or a process restart).
 func NewLog(store Store) (*Log, error) {
-	l := &Log{store: store}
+	l := &Log{store: store, met: bindLogMetrics(obs.NewRegistry())}
 	l.flushIdle = sync.NewCond(&l.mu)
 	if err := l.loadFromStore(); err != nil {
 		return nil, err
@@ -238,6 +284,7 @@ func (l *Log) Append(r *Record) (LSN, error) {
 	l.data = append(l.data, enc...)
 	l.cache = append(l.cache, r.clone())
 	l.stats.Appends++
+	l.met.appends.Inc()
 	return r.LSN, nil
 }
 
@@ -281,6 +328,7 @@ func (l *Log) Flush(upTo LSN) error {
 	} else {
 		end = int64(l.offsets[upTo-l.base]) // offset of the record after upTo
 	}
+	start := time.Now()
 	if _, err := l.store.WriteAt(l.data[l.flushedBytes:end], logHeaderSize+l.flushedBytes); err != nil {
 		return fmt.Errorf("wal: flush write: %w", err)
 	}
@@ -289,6 +337,9 @@ func (l *Log) Flush(upTo LSN) error {
 	}
 	l.stats.Flushes++
 	l.stats.FlushedBytes += uint64(end - l.flushedBytes)
+	l.met.flushes.Inc()
+	l.met.flushedBytes.Add(uint64(end - l.flushedBytes))
+	l.met.flushNs.Observe(time.Since(start))
 	l.flushedBytes = end
 	l.flushedLSN = upTo
 	return nil
@@ -318,6 +369,7 @@ func (l *Log) FlushAsync(upTo LSN) <-chan error {
 	}
 	l.flushQ = append(l.flushQ, flushWaiter{upTo: upTo, ch: ch})
 	l.stats.FlushWaiters++
+	l.met.flushWaiters.Inc()
 	if !l.flushLeader {
 		l.flushLeader = true
 		go l.groupFlushLoop()
@@ -354,6 +406,7 @@ func (l *Log) groupFlushLoop() {
 			err = l.flushRangeUnlatched(target)
 			head = l.base + LSN(len(l.offsets))
 		}
+		queued := len(l.flushQ)
 		rest := l.flushQ[:0]
 		for _, w := range l.flushQ {
 			switch {
@@ -366,6 +419,9 @@ func (l *Log) groupFlushLoop() {
 			default:
 				rest = append(rest, w)
 			}
+		}
+		if released := queued - len(rest); released > 0 && l.met.reg.HasEventHook() {
+			l.met.reg.Emit(obs.Event{Name: "wal.group_flush", LSN: uint64(l.flushedLSN), Value: int64(released)})
 		}
 		l.flushQ = rest
 	}
@@ -391,11 +447,13 @@ func (l *Log) flushRangeUnlatched(upTo LSN) error {
 	buf := l.flushScratch
 	l.flushInFlight = true
 	l.mu.Unlock()
+	began := time.Now()
 	_, werr := l.store.WriteAt(buf, logHeaderSize+start)
 	var serr error
 	if werr == nil {
 		serr = l.store.Sync()
 	}
+	took := time.Since(began)
 	l.mu.Lock()
 	l.flushInFlight = false
 	l.flushIdle.Broadcast()
@@ -410,6 +468,10 @@ func (l *Log) flushRangeUnlatched(upTo LSN) error {
 	l.stats.Flushes++
 	l.stats.GroupedFlushes++
 	l.stats.FlushedBytes += uint64(end - start)
+	l.met.flushes.Inc()
+	l.met.groupedFlushes.Inc()
+	l.met.flushedBytes.Add(uint64(end - start))
+	l.met.flushNs.Observe(took)
 	return nil
 }
 
@@ -433,6 +495,7 @@ func (l *Log) getLocked(lsn LSN) (*Record, error) {
 		return nil, fmt.Errorf("%w: %d (head %d)", ErrNoSuchLSN, lsn, l.base+LSN(len(l.offsets)))
 	}
 	l.stats.Reads++
+	l.met.reads.Inc()
 	d := int64(lsn) - int64(l.lastReadLSN)
 	if d == 1 || d == -1 || d == 0 {
 		l.stats.SequentialReads++
@@ -450,6 +513,7 @@ func (l *Log) Scan(from, to LSN, fn func(*Record) (bool, error)) error {
 	l.mu.Lock()
 	head := l.base + LSN(len(l.offsets))
 	base := l.base
+	l.met.scans.Inc()
 	l.mu.Unlock()
 	if from == NilLSN {
 		from = 1
@@ -518,6 +582,7 @@ func (l *Log) Rewrite(lsn LSN, fn func(*Record)) error {
 	copy(l.data[off:end], enc)
 	l.cache[idx] = r
 	l.stats.Rewrites++
+	l.met.rewrites.Inc()
 	if int64(end) <= l.flushedBytes {
 		// The record was already stable: patch the device in place
 		// (a random write, the cost the paper's RH design avoids).
@@ -591,6 +656,7 @@ func (l *Log) Archive(upTo LSN) error {
 	l.cache = l.cache[:copy(l.cache, l.cache[cut:])]
 	l.base = upTo
 	l.flushedBytes -= int64(cutBytes)
+	l.met.archives.Inc()
 	// Compact the device: header with the new base, then the surviving
 	// stable bytes.
 	if err := l.writeHeader(); err != nil {
