@@ -3,11 +3,12 @@
 #   make check     vet + build + full test suite + short race pass
 #   make ci        what .github/workflows/ci.yml runs (check + short fuzz)
 #   make race      race-detector run of the concurrency-sensitive packages
+#   make torture   fixed-seed fault-injection crash sweep (nightly CI job)
 #   make bench-e8  regenerate BENCH_E8.json (quick sizes)
 
 GO ?= go
 
-.PHONY: check ci vet build test race fuzz-short bench bench-e8
+.PHONY: check ci vet build test race fuzz-short torture bench bench-e8
 
 check: vet build test race
 
@@ -34,7 +35,14 @@ test:
 # (group commit, DelegateAll), the WAL (leader flusher), and the sim
 # stress tests that drive them concurrently.
 race:
-	$(GO) test -race -short ./internal/core ./internal/wal ./internal/sim
+	$(GO) test -race -short ./internal/core ./internal/wal ./internal/sim ./internal/torture
+
+# Full fault-injection pass under the race detector: the complete crash
+# sweep at fixed seeds (no -short boundary cap), the scope audit, and the
+# transient/persistent fault paths.  Budgeted for the nightly CI job; a
+# laptop run takes on the order of a minute.
+torture:
+	$(GO) test -race -count=1 -timeout 20m ./internal/torture ./internal/fault
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s .

@@ -63,6 +63,11 @@ var (
 	ErrTxGone = core.ErrNoSuchTxn
 	// ErrCrashed is returned between Crash and Recover.
 	ErrCrashed = core.ErrCrashed
+	// ErrDegraded is returned (wrapped) by mutating operations after a
+	// persistent log-device failure moved the database to read-only
+	// degraded mode.  Reads and Abort still work; Crash + Recover with a
+	// healthy device is the repair action.  See DB.Health.
+	ErrDegraded = core.ErrDegraded
 )
 
 // GroupCommitMode selects how Commit forces the log (re-exported from the
@@ -95,6 +100,12 @@ type Options struct {
 	// GroupCommit selects commit-time log forcing; the zero value
 	// enables coalesced group commit.
 	GroupCommit GroupCommitMode
+	// FaultStore, when non-nil, is used as the write-ahead log's stable
+	// device in place of the default — typically a fault.Store (or any
+	// other wal.Store wrapper) injecting device faults, letting torture
+	// harnesses and tests drive crash schedules through the public API.
+	// Mutually exclusive with Dir, which opens its own log file.
+	FaultStore wal.Store
 }
 
 // DB is a handle to an ARIES/RH database.
@@ -113,6 +124,12 @@ func Open(opts ...Options) (*DB, error) {
 		o = opts[0]
 	}
 	engineOpts := core.Options{PoolSize: o.PoolSize, GroupCommit: o.GroupCommit}
+	if o.FaultStore != nil {
+		if o.Dir != "" {
+			return nil, errors.New("ariesrh: Options.Dir and Options.FaultStore are mutually exclusive")
+		}
+		engineOpts.LogStore = o.FaultStore
+	}
 	// cleanup releases file handles if engine construction fails; on
 	// success the engine owns them and DB.Close goes through the engine.
 	cleanup := func() {}
@@ -164,11 +181,42 @@ func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
 
 // Crash simulates a failure: the buffer pool, lock table, transaction
 // table, delegation state and unflushed log tail are lost.  All live Tx
-// handles become invalid.  Call Recover before issuing new work.
+// handles become invalid.  Call Recover before issuing new work.  Crash
+// also clears degraded mode — the restart is the repair action; if the
+// device is still broken, Recover fails instead.
 func (db *DB) Crash() error { return db.eng.Crash() }
 
-// Recover replays the log after a Crash.
+// Recover replays the log after a Crash: one forward analysis+redo pass,
+// then a backward pass undoing exactly the updates whose final delegatee
+// did not commit.  Recovery is idempotent — a crash during Recover is
+// handled by running Recover again — and tolerates a torn record at the
+// log's tail (the expected signature of a crash mid-flush).
 func (db *DB) Recover() error { return db.eng.Recover() }
+
+// HealthState enumerates DB availability states (re-exported from the
+// engine).
+type HealthState = core.HealthState
+
+// Health states.
+const (
+	// StateHealthy: all operations available.
+	StateHealthy = core.StateHealthy
+	// StateDegraded: a persistent log-device failure was detected after
+	// the WAL's retry budget was spent.  Reads and Abort remain
+	// available; every other mutation returns ErrDegraded.  No commit
+	// was ever acknowledged without its records being durable.
+	StateDegraded = core.StateDegraded
+	// StateCrashed: between Crash and Recover.
+	StateCrashed = core.StateCrashed
+)
+
+// Health describes the database's availability: its state and, when
+// degraded, the device error that caused it.
+type Health = core.Health
+
+// Health returns the database's availability state.  It never touches
+// the device and is answerable in every state.
+func (db *DB) Health() Health { return db.eng.Health() }
 
 // ReadCommitted returns the current stable/buffered value of obj without
 // any transactional context.  Objects that were never written — or whose
@@ -250,7 +298,10 @@ func (tx *Tx) Read(obj ObjectID) ([]byte, error) {
 }
 
 // Update sets obj to val under an exclusive lock, logging before/after
-// images for recovery.
+// images for recovery.  The update record is appended but not forced:
+// durability arrives with the commit of whichever transaction is finally
+// responsible for the update (the WAL rule guarantees the record reaches
+// the device before the page does).
 func (tx *Tx) Update(obj ObjectID, val []byte) error {
 	if tx.done {
 		return ErrTxDone
@@ -366,7 +417,13 @@ func (tx *Tx) Objects() ([]ObjectID, error) {
 func (tx *Tx) DB() *DB { return tx.db }
 
 // Commit makes every update tx is responsible for permanent.  The log is
-// forced through the commit record before Commit returns.
+// forced through the commit record before Commit returns: a nil return
+// means the commit record is on stable storage and the transaction will
+// be a winner of any later crash.  Transient device errors during the
+// force are absorbed by the WAL's bounded-backoff retry; a persistent
+// failure returns an error (the transaction is NOT committed — though a
+// crash may still find the record durable; recovery honors the log) and
+// moves the database to degraded mode.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
@@ -380,6 +437,13 @@ func (tx *Tx) Commit() error {
 
 // Abort rolls back every update tx is responsible for — its own and any
 // received through delegation.  Updates it delegated away are untouched.
+//
+// Crash-safety contract: a nil return means the rollback took effect in
+// volatile state and its locks were released; its durability is NOT
+// guaranteed (none is needed — a crash before the abort's records reach
+// the device simply makes recovery re-abort the transaction, landing in
+// the same state).  Abort therefore remains available in degraded mode,
+// where it is the sanctioned way to release a failed transaction's locks.
 func (tx *Tx) Abort() error {
 	if tx.done {
 		return ErrTxDone

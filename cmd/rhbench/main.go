@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e9, a1, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e10, a1, or all")
 	quick := flag.Bool("quick", false, "use smaller workload sizes")
 	jsonPath := flag.String("json", "", "also write the tables as a JSON array to this file")
 	flag.Parse()
@@ -74,6 +74,15 @@ func main() {
 			}
 			return bench.E9MetricsInvariants(txns, updates, 64)
 		}},
+		{"e10", func() (*bench.Table, error) {
+			seeds := []int64{1, 2, 3}
+			steps, maxBoundaries := 1200, 0
+			if *quick {
+				seeds = []int64{1}
+				steps, maxBoundaries = 600, 80
+			}
+			return bench.E10Torture(seeds, steps, maxBoundaries)
+		}},
 		{"e8", func() (*bench.Table, error) {
 			// No 2-committer point: two workers pipeline-alternate behind
 			// the device (each sync covers exactly one commit record), so
@@ -103,7 +112,7 @@ func main() {
 		tables = append(tables, table)
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want e1..e9, a1, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want e1..e10, a1, or all)", *exp)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")

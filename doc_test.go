@@ -1,0 +1,96 @@
+package ariesrh
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestDocComments is the doc-comment lint that rides the test suite (and
+// with it `make ci`): every exported symbol of the public API and of the
+// packages that carry crash-safety contracts must state that contract in
+// a doc comment.  An exported symbol without one is a build break, not a
+// style nit — the durability semantics of this library live in those
+// comments.
+func TestDocComments(t *testing.T) {
+	dirs := []string{".", "internal/wal", "internal/fault", "internal/torture"}
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for path, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					checkDecl(t, fset, path, decl)
+				}
+			}
+		}
+	}
+}
+
+func checkDecl(t *testing.T, fset *token.FileSet, path string, decl ast.Decl) {
+	t.Helper()
+	report := func(pos token.Pos, what string) {
+		p := fset.Position(pos)
+		t.Errorf("%s:%d: exported %s has no doc comment", path, p.Line, what)
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return
+		}
+		// Methods on unexported receiver types are not part of the API.
+		if d.Recv != nil && !exportedReceiver(d.Recv) {
+			return
+		}
+		if d.Doc == nil {
+			report(d.Pos(), "function "+d.Name.Name)
+		}
+	case *ast.GenDecl:
+		if d.Tok != token.TYPE && d.Tok != token.VAR && d.Tok != token.CONST {
+			return
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && d.Doc == nil {
+					report(s.Pos(), "type "+s.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, name := range s.Names {
+					if name.IsExported() && s.Doc == nil && s.Comment == nil && d.Doc == nil {
+						report(name.Pos(), "declaration "+name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a method's receiver names an exported
+// type.
+func exportedReceiver(recv *ast.FieldList) bool {
+	if len(recv.List) == 0 {
+		return false
+	}
+	typ := recv.List[0].Type
+	for {
+		switch tt := typ.(type) {
+		case *ast.StarExpr:
+			typ = tt.X
+		case *ast.IndexExpr: // generic receiver
+			typ = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package ariesrh
+
+import (
+	"errors"
+	"testing"
+
+	"ariesrh/internal/fault"
+	"ariesrh/internal/wal"
+)
+
+// TestFaultStoreOptionAndHealth drives the degraded-mode lifecycle
+// through the public API: a fault.Store injected via Options.FaultStore
+// kills the device, commits fail, Health reports degraded, reads and
+// Abort keep working, and a restart with a healed device repairs it.
+func TestFaultStoreOptionAndHealth(t *testing.T) {
+	store, err := fault.NewStore(wal.NewMemStore(), fault.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(Options{FaultStore: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Update(1, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if h := db.Health(); h.State != StateHealthy {
+		t.Fatalf("Health = %v, want healthy", h.State)
+	}
+
+	t2, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Update(2, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	store.SetFailAllSyncs(true)
+	if err := t2.Commit(); err == nil {
+		t.Fatal("Commit succeeded against a dead device")
+	}
+	h := db.Health()
+	if h.State != StateDegraded || h.Err == nil {
+		t.Fatalf("Health = %+v, want degraded with a cause", h)
+	}
+	if v, ok, err := db.ReadCommitted(1); err != nil || !ok || string(v) != "durable" {
+		t.Fatalf("ReadCommitted in degraded mode = %q/%v/%v", v, ok, err)
+	}
+	if _, err := db.Begin(); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Begin in degraded mode = %v, want ErrDegraded", err)
+	}
+	if err := t2.Abort(); err != nil {
+		t.Fatalf("Abort in degraded mode = %v, want success", err)
+	}
+
+	// Heal the device and restart.
+	store.SetFailAllSyncs(false)
+	if _, err := store.CrashNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if h := db.Health(); h.State != StateHealthy {
+		t.Fatalf("Health after restart = %v, want healthy", h.State)
+	}
+	if v, ok, err := db.ReadCommitted(1); err != nil || !ok || string(v) != "durable" {
+		t.Fatalf("ReadCommitted after restart = %q/%v/%v", v, ok, err)
+	}
+	if _, ok, err := db.ReadCommitted(2); err != nil || ok {
+		t.Fatalf("unacknowledged commit survived: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestFaultStoreExcludesDir pins the Options contract: a directory-backed
+// database opens its own log file, so combining Dir with FaultStore is
+// rejected rather than silently ignoring one of them.
+func TestFaultStoreExcludesDir(t *testing.T) {
+	store, err := fault.NewStore(wal.NewMemStore(), fault.Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: t.TempDir(), FaultStore: store}); err == nil {
+		t.Fatal("Open accepted Dir together with FaultStore")
+	}
+}

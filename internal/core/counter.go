@@ -51,9 +51,9 @@ func EncodeCounter(v int64) []byte {
 // permitted; reads and plain updates still conflict.
 func (e *Engine) Increment(tx wal.TxID, obj wal.ObjectID, delta int64) (int64, error) {
 	e.mu.Lock()
-	if e.crashed {
+	if err := e.writableLocked(); err != nil {
 		e.mu.Unlock()
-		return 0, ErrCrashed
+		return 0, err
 	}
 	if _, err := e.activeInfo(tx); err != nil {
 		e.mu.Unlock()
@@ -70,8 +70,8 @@ func (e *Engine) Increment(tx wal.TxID, obj wal.ObjectID, delta int64) (int64, e
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return 0, ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return 0, err
 	}
 	info, err := e.activeInfo(tx)
 	if err != nil {

@@ -66,8 +66,8 @@ type depEdge struct {
 func (e *Engine) FormDependency(dep, on wal.TxID, kind DependencyKind) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return err
 	}
 	if dep == on {
 		return fmt.Errorf("core: self-dependency of t%d", dep)

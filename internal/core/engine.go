@@ -49,7 +49,51 @@ var (
 	// ErrCrashed is returned for operations attempted between Crash and
 	// Recover.
 	ErrCrashed = errors.New("core: engine crashed; run Recover")
+	// ErrDegraded is returned for mutating operations while the engine is
+	// in the read-only degraded state it enters after a persistent log
+	// device error (a commit- or abort-time force that failed even after
+	// the WAL's bounded retries).  Reads and Aborts remain available —
+	// aborts need no durability, recovery re-aborts them idempotently —
+	// and Crash+Recover clears the state once the device is healthy.
+	ErrDegraded = errors.New("core: engine degraded to read-only (persistent log device error)")
 )
+
+// HealthState classifies engine availability; see (*Engine).Health.
+type HealthState int
+
+const (
+	// StateHealthy: all operations available.
+	StateHealthy HealthState = iota
+	// StateDegraded: a persistent log device error was observed; the
+	// engine accepts reads and aborts but rejects every operation that
+	// would need new durable log records with ErrDegraded.
+	StateDegraded
+	// StateCrashed: between Crash and Recover; everything but Recover is
+	// rejected with ErrCrashed.
+	StateCrashed
+)
+
+// String renders the state for logs and error messages.
+func (s HealthState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateCrashed:
+		return "crashed"
+	}
+	return fmt.Sprintf("HealthState(%d)", int(s))
+}
+
+// Health reports engine availability: the state and, when degraded, the
+// device error that caused it.
+type Health struct {
+	State HealthState
+	// Err is the underlying device error for StateDegraded, nil
+	// otherwise.
+	Err error
+}
 
 // GroupCommitMode selects how Commit forces the log.
 type GroupCommitMode int
@@ -135,8 +179,11 @@ type Engine struct {
 
 	master  *masterRecord
 	crashed bool
-	stats   Stats
-	opts    Options
+	// degraded holds the persistent device error that moved the engine
+	// to read-only degraded mode (nil while healthy).  See ErrDegraded.
+	degraded error
+	stats    Stats
+	opts     Options
 
 	// reg is the engine's metric registry; every component (WAL, buffer
 	// pool, lock manager) binds its handles to it.  met caches the
@@ -207,6 +254,51 @@ func New(opts Options) (*Engine, error) {
 // Log exposes the write-ahead log for inspection by tests, the demo tools
 // and the benchmark harness.  Callers must not mutate it.
 func (e *Engine) Log() *wal.Log { return e.log }
+
+// Health returns the engine's availability state.  It never blocks on
+// the device and is answerable in every state — including degraded and
+// crashed — so operators can always ask.
+func (e *Engine) Health() Health {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch {
+	case e.crashed:
+		return Health{State: StateCrashed}
+	case e.degraded != nil:
+		return Health{State: StateDegraded, Err: e.degraded}
+	}
+	return Health{State: StateHealthy}
+}
+
+// writableLocked gates operations that would append (and eventually
+// force) new log records.  The caller holds the engine latch.
+func (e *Engine) writableLocked() error {
+	if e.crashed {
+		return ErrCrashed
+	}
+	if e.degraded != nil {
+		e.met.degradedRejects.Inc()
+		return fmt.Errorf("%w: %v", ErrDegraded, e.degraded)
+	}
+	return nil
+}
+
+// degradeLocked moves the engine to read-only degraded mode after a
+// persistent device error surfaced from a log force (the WAL has already
+// spent its retry budget by the time the error reaches here).  First
+// error wins; a crashed engine does not degrade (the crash supersedes).
+// The caller holds the engine latch.
+func (e *Engine) degradeLocked(err error) {
+	if err == nil || e.crashed || e.degraded != nil {
+		return
+	}
+	e.degraded = err
+	e.met.deviceErrors.Inc()
+	e.met.degraded.Set(1)
+	if e.reg.HasEventHook() {
+		e.reg.Emit(obs.Event{Name: "core.degraded"})
+	}
+}
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
@@ -326,10 +418,11 @@ func (e *Engine) SetRecoveryFailpoint(n int) {
 func (e *Engine) Quiesce(fn func() error) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return err
 	}
 	if err := e.log.Flush(e.log.Head()); err != nil {
+		e.degradeLocked(err)
 		return err
 	}
 	return fn()
@@ -353,6 +446,11 @@ func (e *Engine) Crash() error {
 	e.state = delegation.State{}
 	e.deps = make(map[wal.TxID][]depEdge)
 	e.crashed = true
+	// A crash clears degraded mode: the restart is the repair action —
+	// if the device is still broken, Recover's final flush fails and the
+	// engine stays crashed instead.
+	e.degraded = nil
+	e.met.degraded.Set(0)
 	return nil
 }
 

@@ -23,6 +23,12 @@ type engineMetrics struct {
 	recRuns, recForwardRecords, recRedone, recCLRs,
 	recLosers, recWinners *obs.Counter
 
+	// Degraded-mode accounting: deviceErrors counts persistent device
+	// errors that degraded the engine, degradedRejects the operations
+	// turned away with ErrDegraded; degraded is 1 while degraded.
+	deviceErrors, degradedRejects *obs.Counter
+	degraded                      *obs.Gauge
+
 	// Per-operation end-to-end latency (lock waits included).
 	updateNs, delegateNs, commitNs, abortNs *obs.Histogram
 
@@ -49,6 +55,9 @@ func bindEngineMetrics(r *obs.Registry) engineMetrics {
 		recCLRs:           r.Counter("recovery.clrs"),
 		recLosers:         r.Counter("recovery.losers"),
 		recWinners:        r.Counter("recovery.winners"),
+		deviceErrors:      r.Counter("core.device_errors"),
+		degradedRejects:   r.Counter("core.degraded_rejects"),
+		degraded:          r.Gauge("core.degraded"),
 		updateNs:          r.Histogram("core.update_ns"),
 		delegateNs:        r.Histogram("core.delegate_ns"),
 		commitNs:          r.Histogram("core.commit_ns"),

@@ -16,8 +16,8 @@ import (
 func (e *Engine) Begin() (wal.TxID, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return wal.NilTx, ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return wal.NilTx, err
 	}
 	info := e.txns.Begin()
 	lsn, err := e.log.Append(&wal.Record{Type: wal.TypeBegin, TxID: info.ID})
@@ -89,9 +89,9 @@ func (e *Engine) Read(tx wal.TxID, obj wal.ObjectID) ([]byte, error) {
 func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
 	start := time.Now()
 	e.mu.Lock()
-	if e.crashed {
+	if err := e.writableLocked(); err != nil {
 		e.mu.Unlock()
-		return ErrCrashed
+		return err
 	}
 	if _, err := e.activeInfo(tx); err != nil {
 		e.mu.Unlock()
@@ -112,8 +112,10 @@ func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		// The tx keeps its lock grant: it is still alive and must be
+		// able to abort (which releases everything).
+		return err
 	}
 	info, err := e.activeInfo(tx)
 	if err != nil {
@@ -164,8 +166,8 @@ func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
 func (e *Engine) Delegate(tor, tee wal.TxID, obj wal.ObjectID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return err
 	}
 	return e.delegateLocked(tor, tee, obj)
 }
@@ -238,8 +240,8 @@ func (e *Engine) delegateLocked(tor, tee wal.TxID, obj wal.ObjectID) error {
 func (e *Engine) DelegateAll(tor, tee wal.TxID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return err
 	}
 	ol, ok := e.state[tor]
 	if !ok {
@@ -263,8 +265,8 @@ func (e *Engine) DelegateAll(tor, tee wal.TxID) error {
 func (e *Engine) Permit(holder, grantee wal.TxID, obj wal.ObjectID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return err
 	}
 	if _, err := e.activeInfo(holder); err != nil {
 		return err
@@ -304,9 +306,9 @@ func (e *Engine) ObjectsOf(tx wal.TxID) ([]wal.ObjectID, error) {
 func (e *Engine) Commit(tx wal.TxID) error {
 	start := time.Now()
 	e.mu.Lock()
-	if e.crashed {
+	if err := e.writableLocked(); err != nil {
 		e.mu.Unlock()
-		return ErrCrashed
+		return err
 	}
 	info, err := e.activeInfo(tx)
 	if err != nil {
@@ -327,6 +329,11 @@ func (e *Engine) Commit(tx wal.TxID) error {
 	if !e.opts.groupCommit() {
 		defer e.mu.Unlock()
 		if err := e.log.Flush(lsn); err != nil {
+			// The WAL already retried transient errors; what surfaces
+			// here is a persistent device failure.  The commit was
+			// never acknowledged (the transaction stays Active and
+			// abortable); the engine degrades to read-only.
+			e.degradeLocked(err)
 			return err
 		}
 		info.Status = txn.Committed
@@ -369,6 +376,10 @@ func (e *Engine) Commit(tx wal.TxID) error {
 			info.Status = txn.Active
 			info.LastLSN = prevLast
 		}
+		// A force failure past the WAL's retry budget is a persistent
+		// device problem: degrade so later mutations are turned away
+		// instead of queuing more never-flushable records.
+		e.degradeLocked(ferr)
 		return ferr
 	}
 	info = e.txns.Get(tx)
@@ -418,6 +429,15 @@ func (e *Engine) finishCommitLocked(tx wal.TxID, info *txn.Info, lsn wal.LSN, st
 // deferring the force changes only when Abort returns, not what state it
 // leaves behind.  With GroupCommitOff every abort performs its own
 // synchronous flush under the latch, the pre-group-commit behavior.
+//
+// Crash-safety contract: a nil return means the abort took effect in
+// volatile state; its durability is NOT guaranteed.  If the device
+// refuses the force the abort still stands — recovery re-aborts the
+// loser idempotently from the durable log — so Abort succeeds and the
+// device error instead degrades the engine (see ErrDegraded, Health).
+// This also makes Abort available IN degraded mode: it is the one
+// mutating operation that needs no new durable bytes, and the escape
+// hatch by which in-flight transactions release their locks.
 func (e *Engine) Abort(tx wal.TxID) error {
 	start := time.Now()
 	e.mu.Lock()
@@ -445,9 +465,11 @@ func (e *Engine) Abort(tx wal.TxID) error {
 	e.mu.Unlock()
 	if ferr := <-ch; ferr != nil {
 		// The abort stands — the transaction is terminated and recovery
-		// would re-abort it regardless — but the device refused the
-		// force; surface that to the caller.
-		return ferr
+		// would re-abort it regardless — but the force failed past the
+		// WAL's retry budget: degrade instead of failing the abort.
+		e.mu.Lock()
+		e.degradeLocked(ferr)
+		e.mu.Unlock()
 	}
 	e.met.abortNs.Observe(time.Since(start))
 	return nil
@@ -477,7 +499,10 @@ func (e *Engine) abortLocked(tx wal.TxID) error {
 	}
 	if !e.opts.groupCommit() {
 		if err := e.log.Flush(lsn); err != nil {
-			return err
+			// See Abort's contract: the force is best-effort — the
+			// abort completes in volatile state and the device error
+			// degrades the engine rather than failing the abort.
+			e.degradeLocked(err)
 		}
 	}
 	info.Status = txn.Aborted
@@ -602,8 +627,8 @@ func (e *Engine) undoUpdate(owner wal.TxID, rec *wal.Record) error {
 func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return err
 	}
 	beginLSN, err := e.log.Append(&wal.Record{Type: wal.TypeCheckpointBegin})
 	if err != nil {
@@ -620,9 +645,11 @@ func (e *Engine) Checkpoint() error {
 		return err
 	}
 	if err := e.log.Flush(endLSN); err != nil {
+		e.degradeLocked(err)
 		return err
 	}
 	if err := e.master.Set(endLSN); err != nil {
+		e.degradeLocked(err)
 		return err
 	}
 	e.stats.Checkpoints++

@@ -38,8 +38,8 @@ type Savepoint struct {
 func (e *Engine) Savepoint(tx wal.TxID) (Savepoint, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return Savepoint{}, ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return Savepoint{}, err
 	}
 	if _, err := e.activeInfo(tx); err != nil {
 		return Savepoint{}, err
@@ -53,8 +53,8 @@ func (e *Engine) Savepoint(tx wal.TxID) (Savepoint, error) {
 func (e *Engine) RollbackTo(sp Savepoint) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.crashed {
-		return ErrCrashed
+	if err := e.writableLocked(); err != nil {
+		return err
 	}
 	if _, err := e.activeInfo(sp.tx); err != nil {
 		return err
@@ -199,6 +199,11 @@ func (e *Engine) ArchiveLog() (wal.LSN, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.writableLocked(); err != nil {
+		// Compaction rewrites the stable device; a degraded device
+		// must not be touched.
+		return wal.NilLSN, err
+	}
 	if min <= 1 {
 		return e.log.Base(), nil
 	}

@@ -1,0 +1,146 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"ariesrh/internal/storage"
+)
+
+// DiskPlan describes the fault schedule of a Disk.  Because page writes
+// are atomic at page granularity (the DiskManager contract), the only
+// crash shapes are "write N and everything after it never happened" —
+// there is no torn-page mode.
+type DiskPlan struct {
+	// CrashAtWrite makes the Nth WritePage call (1-based) and every
+	// subsequent write or allocation fail with ErrCrashPoint: the
+	// process "died" during write N, which therefore never lands.  0
+	// disables the schedule.
+	CrashAtWrite uint64
+
+	// FailWrites makes every WritePage fail with ErrDeviceFailed until
+	// disarmed with SetFailWrites(false).
+	FailWrites bool
+
+	// WriteDelay and DelayEveryNthWrite inject latency spikes: every
+	// Nth WritePage sleeps WriteDelay first.  Either zero disables.
+	WriteDelay         time.Duration
+	DelayEveryNthWrite uint64
+}
+
+// Disk wraps a storage.DiskManager with the DiskPlan's fault schedule.
+// Reads always pass through (already-written pages stay readable, as on
+// a real device whose write path failed); writes and allocations are
+// subject to injection.  It is safe for concurrent use and implements
+// storage.DiskManager.
+type Disk struct {
+	mu     sync.Mutex
+	inner  storage.DiskManager
+	plan   DiskPlan
+	writes uint64
+	// frozen is set once the crash schedule fires; every later write
+	// or allocation fails with ErrCrashPoint.
+	frozen   bool
+	injected uint64
+}
+
+// NewDisk wraps inner with the given fault plan.
+func NewDisk(inner storage.DiskManager, plan DiskPlan) *Disk {
+	return &Disk{inner: inner, plan: plan}
+}
+
+// ReadPage delegates to the wrapped manager; reads are never failed.
+func (d *Disk) ReadPage(pid storage.PageID) (*storage.Page, error) {
+	return d.inner.ReadPage(pid)
+}
+
+// WritePage applies the fault schedule, then delegates.  A write that
+// returns an error did not happen: the on-device page is unchanged.
+func (d *Disk) WritePage(pid storage.PageID, p *storage.Page) error {
+	d.mu.Lock()
+	d.writes++
+	n := d.writes
+	if d.plan.DelayEveryNthWrite > 0 && d.plan.WriteDelay > 0 && n%d.plan.DelayEveryNthWrite == 0 {
+		time.Sleep(d.plan.WriteDelay)
+	}
+	if d.plan.CrashAtWrite > 0 && n >= d.plan.CrashAtWrite {
+		d.frozen = true
+	}
+	if d.frozen {
+		d.injected++
+		d.mu.Unlock()
+		return ErrCrashPoint
+	}
+	if d.plan.FailWrites {
+		d.injected++
+		d.mu.Unlock()
+		return ErrDeviceFailed
+	}
+	d.mu.Unlock()
+	return d.inner.WritePage(pid, p)
+}
+
+// Allocate delegates unless the disk is frozen or failing (growing the
+// device is a write).
+func (d *Disk) Allocate() (storage.PageID, error) {
+	d.mu.Lock()
+	if d.frozen {
+		d.injected++
+		d.mu.Unlock()
+		return 0, ErrCrashPoint
+	}
+	if d.plan.FailWrites {
+		d.injected++
+		d.mu.Unlock()
+		return 0, ErrDeviceFailed
+	}
+	d.mu.Unlock()
+	return d.inner.Allocate()
+}
+
+// NumPages delegates to the wrapped manager.
+func (d *Disk) NumPages() storage.PageID { return d.inner.NumPages() }
+
+// Stats delegates to the wrapped manager.
+func (d *Disk) Stats() storage.DiskStats { return d.inner.Stats() }
+
+// Close closes the wrapped manager.
+func (d *Disk) Close() error { return d.inner.Close() }
+
+// CrashNow disarms the crash schedule so the device works again after
+// the simulated restart.  Unlike the log store there is no image to
+// rewind: rejected page writes never reached the device.
+func (d *Disk) CrashNow() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.frozen = false
+	d.plan.CrashAtWrite = 0
+}
+
+// SetFailWrites arms or disarms the persistent write-failure mode.
+func (d *Disk) SetFailWrites(on bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.plan.FailWrites = on
+}
+
+// Writes returns the number of WritePage attempts observed.
+func (d *Disk) Writes() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writes
+}
+
+// InjectedErrors returns the number of write/allocate errors injected.
+func (d *Disk) InjectedErrors() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.injected
+}
+
+// Frozen reports whether the crash schedule has fired.
+func (d *Disk) Frozen() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.frozen
+}

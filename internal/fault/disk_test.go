@@ -1,0 +1,83 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"ariesrh/internal/storage"
+)
+
+// TestDiskCrashAtWrite verifies the page-write crash schedule: writes
+// before the boundary land, the boundary write and everything after it
+// fail atomically (never partially applied), reads keep working, and
+// CrashNow disarms the freeze.
+func TestDiskCrashAtWrite(t *testing.T) {
+	d := NewDisk(storage.NewMemDisk(), DiskPlan{CrashAtWrite: 3})
+	for i := 0; i < 4; i++ {
+		if _, err := d.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page := func(val byte) *storage.Page {
+		p := &storage.Page{}
+		p.Slots[0] = storage.Slot{Used: true, Object: 1, Value: []byte{val}}
+		return p
+	}
+	if err := d.WritePage(0, page(1)); err != nil { // write 1
+		t.Fatal(err)
+	}
+	if err := d.WritePage(1, page(2)); err != nil { // write 2
+		t.Fatal(err)
+	}
+	if err := d.WritePage(2, page(3)); !errors.Is(err, ErrCrashPoint) { // write 3: crash
+		t.Fatalf("write at crash boundary = %v, want ErrCrashPoint", err)
+	}
+	if err := d.WritePage(0, page(9)); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("write after crash = %v, want ErrCrashPoint", err)
+	}
+	if _, err := d.Allocate(); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("allocate after crash = %v, want ErrCrashPoint", err)
+	}
+	// The crashed write never landed; earlier writes are intact and readable.
+	p2, err := d.ReadPage(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Slots[0].Used {
+		t.Fatal("page 2 holds data after its write crashed; page writes must be atomic")
+	}
+	p0, err := d.ReadPage(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p0.Slots[0].Used || p0.Slots[0].Value[0] != 1 {
+		t.Fatalf("page 0 slot = %+v, want the pre-crash write", p0.Slots[0])
+	}
+
+	d.CrashNow()
+	if err := d.WritePage(2, page(3)); err != nil {
+		t.Fatalf("write after disarmed crash: %v", err)
+	}
+	if got := d.InjectedErrors(); got != 3 {
+		t.Fatalf("InjectedErrors = %d, want 3", got)
+	}
+}
+
+// TestDiskFailWrites covers the persistent write-failure mode and its
+// runtime disarm.
+func TestDiskFailWrites(t *testing.T) {
+	d := NewDisk(storage.NewMemDisk(), DiskPlan{})
+	if _, err := d.Allocate(); err != nil {
+		t.Fatal(err)
+	}
+	d.SetFailWrites(true)
+	p := &storage.Page{}
+	p.Slots[0] = storage.Slot{Used: true, Object: 1, Value: []byte("x")}
+	if err := d.WritePage(0, p); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("write on failed device = %v, want ErrDeviceFailed", err)
+	}
+	d.SetFailWrites(false)
+	if err := d.WritePage(0, p); err != nil {
+		t.Fatalf("write after healing: %v", err)
+	}
+}

@@ -1,0 +1,270 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ariesrh/internal/wal"
+)
+
+// appendRecords appends n update records to l and returns their LSNs.
+func appendRecords(t *testing.T, l *wal.Log, tx wal.TxID, n int) []wal.LSN {
+	t.Helper()
+	lsns := make([]wal.LSN, 0, n)
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(&wal.Record{
+			Type:   wal.TypeUpdate,
+			TxID:   tx,
+			Object: wal.ObjectID(i + 1),
+			After:  []byte("payload-payload-payload"),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	return lsns
+}
+
+// TestStableImageSemantics checks the dual-image core: synced bytes
+// survive CrashNow, unsynced bytes do not (TornTail off).
+func TestStableImageSemantics(t *testing.T) {
+	s, err := NewStore(wal.NewMemStore(), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.NewLog(s) // header write + sync
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 1, 3)
+	if err := l.Flush(l.Head()); err != nil {
+		t.Fatal(err)
+	}
+	durableHead := l.Head()
+	appendRecords(t, l, 1, 2) // volatile: appended, never flushed
+	stableBefore := s.StableBytes()
+
+	if _, err := s.CrashNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Head(); got != durableHead {
+		t.Fatalf("post-crash head = %d, want %d (only synced records survive)", got, durableHead)
+	}
+	if !bytes.Equal(s.StableBytes(), stableBefore) {
+		t.Fatal("stable image changed across a crash with no torn tail")
+	}
+}
+
+// TestUnsyncedWriteLostWithoutSync makes the volatile window explicit:
+// bytes written to the store but never covered by a successful Sync are
+// gone after CrashNow.
+func TestUnsyncedWriteLostWithoutSync(t *testing.T) {
+	s, err := NewStore(wal.NewMemStore(), Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteAt([]byte("never synced"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CrashNow(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Size(); n != 0 {
+		t.Fatalf("device holds %d bytes after crash, want 0 (nothing was synced)", n)
+	}
+}
+
+// TestCrashAtSyncFreezesDevice verifies the crash schedule: the stable
+// image is pinned right after the Nth sync, later syncs fail with
+// ErrCrashPoint (marked no-retry), and CrashNow disarms the freeze.
+func TestCrashAtSyncFreezesDevice(t *testing.T) {
+	s, err := NewStore(wal.NewMemStore(), Plan{CrashAtSync: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.NewLog(s) // sync 1: header
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendRecords(t, l, 1, 2)
+	if err := l.Flush(l.Head()); err != nil { // sync 2: succeeds, then freezes
+		t.Fatal(err)
+	}
+	frozenHead := l.Head()
+	appendRecords(t, l, 1, 2)
+	ferr := l.Flush(l.Head())
+	if !errors.Is(ferr, ErrCrashPoint) {
+		t.Fatalf("post-freeze flush error = %v, want ErrCrashPoint", ferr)
+	}
+	if !errors.Is(ferr, wal.ErrNoRetry) {
+		t.Fatal("ErrCrashPoint must be marked wal.ErrNoRetry (sweeps would burn the backoff budget)")
+	}
+	if !s.Frozen() {
+		t.Fatal("store not frozen after its crash schedule fired")
+	}
+
+	if _, err := s.CrashNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Head(); got != frozenHead {
+		t.Fatalf("post-crash head = %d, want %d (the frozen boundary)", got, frozenHead)
+	}
+	// Disarmed: the device must work again for recovery traffic.
+	appendRecords(t, l, 2, 1)
+	if err := l.Flush(l.Head()); err != nil {
+		t.Fatalf("flush after disarmed crash: %v", err)
+	}
+}
+
+// TestTornTailReopenStopsCleanly is the torn-write property the
+// recovery scan must provide: a crash that persists a partial final
+// append yields a device the log re-opens WITHOUT error, recovering
+// exactly the complete-frame prefix.  Every possible torn length is a
+// legal device state, so the test sweeps seeds until it has seen both a
+// mid-frame tear and a clean boundary.
+func TestTornTailReopenStopsCleanly(t *testing.T) {
+	sawPartial := false
+	for seed := int64(0); seed < 64; seed++ {
+		// Sync 1 is the header stamp, sync 2 the first flush; the
+		// freeze then makes the second flush's write land without its
+		// sync — the written-but-unsynced bytes a crash can tear.
+		s, err := NewStore(wal.NewMemStore(), Plan{Seed: seed, TornTail: true, CrashAtSync: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := wal.NewLog(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendRecords(t, l, 1, 2)
+		if err := l.Flush(l.Head()); err != nil {
+			t.Fatal(err)
+		}
+		durable := l.Head()
+		appendRecords(t, l, 1, 3)
+		if err := l.Flush(l.Head()); !errors.Is(err, ErrCrashPoint) {
+			t.Fatalf("seed %d: flush into frozen device = %v, want ErrCrashPoint", seed, err)
+		}
+		stableLen := s.StableSize()
+
+		torn, err := s.CrashNow()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if torn > 0 {
+			sawPartial = true
+		}
+		if size, _ := s.Size(); size != stableLen+int64(torn) {
+			t.Fatalf("seed %d: device size %d, want stable %d + torn %d", seed, size, stableLen, torn)
+		}
+		// The log must re-open cleanly whatever the torn length.
+		if err := l.Crash(); err != nil {
+			t.Fatalf("seed %d: reopen over torn tail (%d bytes): %v", seed, torn, err)
+		}
+		if head := l.Head(); head < durable {
+			t.Fatalf("seed %d: post-crash head %d below durable horizon %d", seed, head, durable)
+		}
+		// Complete frames in the torn tail may legitimately survive;
+		// every surviving record must decode and be readable.
+		for lsn := wal.LSN(1); lsn <= l.Head(); lsn++ {
+			if _, err := l.Get(lsn); err != nil {
+				t.Fatalf("seed %d: surviving record %d unreadable: %v", seed, lsn, err)
+			}
+		}
+	}
+	if !sawPartial {
+		t.Fatal("no seed produced a torn tail; the torn-write path went unexercised")
+	}
+}
+
+// TestTransientAndPersistentSyncModes covers the error-injection plan
+// knobs the engine's retry/degrade logic is built against.
+func TestTransientAndPersistentSyncModes(t *testing.T) {
+	s, err := NewStore(wal.NewMemStore(), Plan{TransientSyncErrors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrInjectedSync) {
+		t.Fatalf("sync 1 = %v, want transient failure", err)
+	}
+	if errors.Is(s.Sync(), nil) {
+		t.Fatal("sync 2 should still fail")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync 3 = %v, want success after transient budget", err)
+	}
+	if got := s.InjectedErrors(); got != 2 {
+		t.Fatalf("InjectedErrors = %d, want 2", got)
+	}
+
+	s.SetFailAllSyncs(true)
+	for i := 0; i < 3; i++ {
+		if err := s.Sync(); !errors.Is(err, ErrDeviceFailed) {
+			t.Fatalf("persistent sync %d = %v, want ErrDeviceFailed", i, err)
+		}
+	}
+	if errors.Is(ErrDeviceFailed, wal.ErrNoRetry) {
+		t.Fatal("persistent failures must look retriable so the retry-then-degrade path is exercised")
+	}
+	s.SetFailAllSyncs(false)
+	if err := s.Sync(); err != nil {
+		t.Fatalf("sync after healing = %v", err)
+	}
+}
+
+// TestFailEveryNthSync checks the periodic transient mode is absorbed
+// by a single retry (attempt n fails, attempt n+1 is off-period).
+func TestFailEveryNthSync(t *testing.T) {
+	s, err := NewStore(wal.NewMemStore(), Plan{FailEveryNthSync: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failures int
+	for i := 0; i < 9; i++ {
+		if err := s.Sync(); err != nil {
+			failures++
+			if err2 := s.Sync(); err2 != nil {
+				t.Fatalf("sync immediately after periodic failure also failed: %v", err2)
+			}
+		}
+	}
+	if failures == 0 {
+		t.Fatal("periodic sync failures never fired")
+	}
+}
+
+// TestDeterministicAcrossRuns replays the same workload against the
+// same plan twice and requires byte-identical crash images.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []byte {
+		s, err := NewStore(wal.NewMemStore(), Plan{Seed: 42, TornTail: true, CrashAtSync: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := wal.NewLog(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendRecords(t, l, 1, 4)
+		if err := l.Flush(l.Head()); err != nil {
+			t.Fatal(err)
+		}
+		appendRecords(t, l, 1, 4)
+		_ = l.Flush(l.Head()) // hits the frozen device
+		if _, err := s.CrashNow(); err != nil {
+			t.Fatal(err)
+		}
+		return s.StableBytes()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("identical plans and workloads produced different crash images")
+	}
+}

@@ -139,6 +139,21 @@ func (r *Replayer) Step() (bool, error) {
 	return true, nil
 }
 
+// Pos returns the index of the next action Step would apply — after a
+// failed Step, the index of the action that failed plus one.
+func (r *Replayer) Pos() int { return r.pos }
+
+// IDs returns a copy of the slot → TxID assignments made so far.  Crash
+// harnesses use it to classify transactions as winners or losers from
+// the durable log, which names transactions by TxID, not slot.
+func (r *Replayer) IDs() map[int]wal.TxID {
+	out := make(map[int]wal.TxID, len(r.ids))
+	for s, id := range r.ids {
+		out[s] = id
+	}
+	return out
+}
+
 // RunTo replays actions up to (not including) index stop, or the whole
 // trace if stop < 0.
 func (r *Replayer) RunTo(stop int) error {

@@ -2,8 +2,31 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
+
+// TestDecodeRecordTornPrefix pins the torn-tail contract exhaustively:
+// every proper prefix of a valid frame must be rejected (never silently
+// accepted, never panic), which is what makes the recovery rescan stop
+// cleanly at a torn tail instead of replaying garbage.
+func TestDecodeRecordTornPrefix(t *testing.T) {
+	for _, r := range sampleRecords() {
+		enc, err := EncodeRecord(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			_, _, err := DecodeRecord(enc[:cut])
+			if err == nil {
+				t.Fatalf("type %v: prefix of %d/%d bytes decoded successfully", r.Type, cut, len(enc))
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("type %v: prefix error %v does not wrap ErrCorrupt", r.Type, err)
+			}
+		}
+	}
+}
 
 // FuzzDecodeRecord checks that arbitrary bytes never panic the decoder and
 // that anything it accepts re-encodes to the same bytes (round-trip
@@ -18,6 +41,21 @@ func FuzzDecodeRecord(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	// Torn-write prefixes: a crash mid-flush persists some prefix of the
+	// last append, so the decoder must reject every cut of a valid frame
+	// without panicking — that is what lets the recovery rescan stop
+	// cleanly at the torn tail.
+	for _, r := range sampleRecords() {
+		enc, err := EncodeRecord(r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, cut := range []int{1, HeaderSize - 1, HeaderSize, HeaderSize + 1, len(enc) / 2, len(enc) - 1} {
+			if cut > 0 && cut < len(enc) {
+				f.Add(append([]byte(nil), enc[:cut]...))
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rec, n, err := DecodeRecord(data)
 		if err != nil {

@@ -11,24 +11,40 @@ import (
 // random-access byte device; the Log layers framing, LSNs and crash
 // semantics on top.  Two implementations are provided: MemStore (simulated
 // stable storage, used by tests, benchmarks and crash injection) and
-// FileStore (a real file).
+// FileStore (a real file); internal/fault wraps either with deterministic
+// fault injection.
+//
+// Crash-safety contract: bytes are guaranteed durable — i.e. survive
+// (*Log).Crash and a process failure — only once a Sync call issued
+// after the write has returned nil.  Written-but-unsynced bytes may
+// survive a crash entirely, partially (a torn prefix of the last
+// append), or not at all; the Log's recovery scan tolerates exactly
+// that by truncating a torn final frame.  A Sync that returns an error
+// promises nothing about the writes it covered.
 type Store interface {
 	io.ReaderAt
 	io.WriterAt
 	// Size returns the current size of the device in bytes.
 	Size() (int64, error)
-	// Sync forces previously written bytes to stable storage.
+	// Sync forces previously written bytes to stable storage.  On nil
+	// return every byte written before the call is durable; on error
+	// their fate is unknown (the Log treats such errors as transient
+	// and retries unless they are marked ErrNoRetry).
 	Sync() error
-	// Truncate shrinks the device to size bytes.
+	// Truncate shrinks the device to size bytes.  Like writes, a
+	// truncation is durable only after a subsequent successful Sync.
 	Truncate(size int64) error
-	// Close releases the device.
+	// Close releases the device.  It does not imply Sync.
 	Close() error
 }
 
 // MemStore is an in-memory Store that simulates stable storage.  Bytes
 // written and synced survive (*Log).Crash, which makes it the device of
-// choice for deterministic crash-injection tests.  The zero value is an
-// empty, ready-to-use store.
+// choice for deterministic crash-injection tests.  MemStore itself is
+// stricter than the Store contract requires: every write is immediately
+// "stable" (Sync is a no-op), so it never produces torn tails on its
+// own — wrap it in a fault.Store to model unsynced-byte loss and torn
+// appends.  The zero value is an empty, ready-to-use store.
 type MemStore struct {
 	mu   sync.RWMutex
 	data []byte
