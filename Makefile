@@ -4,18 +4,20 @@
 #   make ci        what .github/workflows/ci.yml runs (check + short fuzz)
 #   make race      race-detector run of the concurrency-sensitive packages
 #   make torture   fixed-seed fault-injection crash sweep (nightly CI job)
+#   make standby-demo  end-to-end log-shipping failover over TCP
 #   make bench-e8  regenerate BENCH_E8.json (quick sizes)
+#   make bench-e11 regenerate BENCH_E11.json (quick sizes)
 
 GO ?= go
 
-.PHONY: check ci vet build test race fuzz-short torture bench bench-e8
+.PHONY: check ci vet build test race fuzz-short torture standby-demo bench bench-e8 bench-e11
 
 check: vet build test race
 
 # Mirror of the CI pipeline: full race (not -short) on the latch-heavy
 # packages plus a short fuzz pass over both wire-format decoders.
 ci: vet build test
-	$(GO) test -race ./internal/core ./internal/wal
+	$(GO) test -race ./internal/core ./internal/wal ./internal/repl
 	$(MAKE) fuzz-short
 
 fuzz-short:
@@ -32,20 +34,31 @@ test:
 	$(GO) test ./...
 
 # The packages whose hot paths drop and re-take latches: the core engine
-# (group commit, DelegateAll), the WAL (leader flusher), and the sim
-# stress tests that drive them concurrently.
+# (group commit, DelegateAll), the WAL (leader flusher and tail
+# subscriptions), the replication stream, and the sim stress tests that
+# drive them concurrently.
 race:
-	$(GO) test -race -short ./internal/core ./internal/wal ./internal/sim ./internal/torture
+	$(GO) test -race -short ./internal/core ./internal/wal ./internal/repl ./internal/sim ./internal/torture
 
 # Full fault-injection pass under the race detector: the complete crash
-# sweep at fixed seeds (no -short boundary cap), the scope audit, and the
-# transient/persistent fault paths.  Budgeted for the nightly CI job; a
-# laptop run takes on the order of a minute.
+# sweep at fixed seeds (no -short boundary cap), the replication
+# promote-under-crash sweep (crash the primary at every sync boundary,
+# promote a live replica, judge against the durable-log oracle), the
+# scope audit, and the transient/persistent fault paths.  Budgeted for
+# the nightly CI job; a laptop run takes on the order of a minute.
 torture:
 	$(GO) test -race -count=1 -timeout 20m ./internal/torture ./internal/fault
+
+# The README quickstart, executed: bootstrap backup, stream over TCP,
+# crash the primary, promote the standby, verify.
+standby-demo:
+	$(GO) run ./cmd/rhstandby -demo
 
 bench:
 	$(GO) test -bench . -benchtime 0.5s .
 
 bench-e8:
 	$(GO) run ./cmd/rhbench -exp e8 -quick -json BENCH_E8.json
+
+bench-e11:
+	$(GO) run ./cmd/rhbench -exp e11 -quick -json BENCH_E11.json

@@ -2,6 +2,8 @@ package ariesrh
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -82,8 +84,49 @@ func TestBackupRequiresFileBacked(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := db.Backup(t.TempDir()); err == nil {
+	err = db.Backup(t.TempDir())
+	if err == nil {
 		t.Fatal("backup of in-memory database accepted")
+	}
+	// The error must say what is wrong, not fail on a missing file path.
+	if got, want := err.Error(), "ariesrh: backup requires a file-backed database"; got != want {
+		t.Fatalf("error = %q, want %q", got, want)
+	}
+}
+
+func TestBackupRejectedWhileCrashed(t *testing.T) {
+	// Between Crash and Recover the stable image may have a torn log tail
+	// and pages ahead of what a consistent snapshot needs: Backup must
+	// refuse rather than copy it.
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tx, _ := db.Begin()
+	if err := tx.Update(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	backupDir := filepath.Join(t.TempDir(), "torn")
+	if err := db.Backup(backupDir); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Backup between Crash and Recover = %v, want ErrCrashed", err)
+	}
+	if _, err := os.Stat(filepath.Join(backupDir, "wal.log")); !os.IsNotExist(err) {
+		t.Fatalf("rejected backup still copied files: %v", err)
+	}
+	// After Recover, backup works again.
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Backup(backupDir); err != nil {
+		t.Fatalf("Backup after Recover = %v", err)
 	}
 }
 

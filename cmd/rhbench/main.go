@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e10, a1, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e11, a1, or all")
 	quick := flag.Bool("quick", false, "use smaller workload sizes")
 	jsonPath := flag.String("json", "", "also write the tables as a JSON array to this file")
 	flag.Parse()
@@ -95,6 +95,15 @@ func main() {
 			}
 			return bench.E8GroupCommit(committers, txnsPer, updatesPer, delay)
 		}},
+		{"e11", func() (*bench.Table, error) {
+			committers := []int{1, 8, 32}
+			txnsPer, updatesPer, delay := 48, 4, 200*time.Microsecond
+			if *quick {
+				committers = []int{1, 16}
+				txnsPer, delay = 24, 100*time.Microsecond
+			}
+			return bench.E11ReplicationLag(committers, txnsPer, updatesPer, delay)
+		}},
 	}
 
 	var tables []*bench.Table
@@ -112,7 +121,7 @@ func main() {
 		tables = append(tables, table)
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want e1..e10, a1, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want e1..e11, a1, or all)", *exp)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")

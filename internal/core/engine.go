@@ -71,6 +71,10 @@ const (
 	// StateCrashed: between Crash and Recover; everything but Recover is
 	// rejected with ErrCrashed.
 	StateCrashed
+	// StateFollower: the engine is a replication standby; reads are
+	// served at the replayed LSN, mutations are rejected with
+	// ErrFollower until Promote.
+	StateFollower
 )
 
 // String renders the state for logs and error messages.
@@ -82,6 +86,8 @@ func (s HealthState) String() string {
 		return "degraded"
 	case StateCrashed:
 		return "crashed"
+	case StateFollower:
+		return "follower"
 	}
 	return fmt.Sprintf("HealthState(%d)", int(s))
 }
@@ -133,6 +139,12 @@ type Options struct {
 	// GroupCommit selects commit-time log forcing; the zero value
 	// (GroupCommitAuto) enables coalesced group commit.
 	GroupCommit GroupCommitMode
+	// Follower opens the engine as a read-only replication follower: it
+	// catches up on whatever the local log already holds (forward pass
+	// only — losers stay live, their object lists intact), then waits for
+	// records via FollowerApply.  Mutating operations are rejected with
+	// ErrFollower until Promote runs the backward pass.
+	Follower bool
 }
 
 // groupCommit reports whether commits use the coalesced flush path.
@@ -179,6 +191,13 @@ type Engine struct {
 
 	master  *masterRecord
 	crashed bool
+	// follower marks a replication standby: recovery's forward pass runs
+	// continuously (FollowerApply), writes are rejected, and frs holds
+	// the live replay state Promote finishes from.  replayedLSN is the
+	// consistency point follower reads are served at.
+	follower    bool
+	frs         *replayState
+	replayedLSN wal.LSN
 	// degraded holds the persistent device error that moved the engine
 	// to read-only degraded mode (nil while healthy).  See ErrDegraded.
 	degraded error
@@ -241,6 +260,21 @@ func New(opts Options) (*Engine, error) {
 		// Cannot happen on a fresh open; defensive.
 		return nil, fmt.Errorf("core: log has unflushed tail at open")
 	}
+	if opts.Follower {
+		// Follower open: forward pass over the local log (a restored
+		// backup, or empty) without the backward pass — in-flight
+		// transactions are not losers yet, their object lists stay live
+		// for the records FollowerApply will ship.
+		e.follower = true
+		e.frs = newReplayState()
+		e.mu.Lock()
+		err := e.followerCatchUpLocked()
+		e.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
 	if log.Head() > 0 {
 		// Existing stable state: recover before accepting work.
 		e.crashed = true
@@ -264,6 +298,8 @@ func (e *Engine) Health() Health {
 	switch {
 	case e.crashed:
 		return Health{State: StateCrashed}
+	case e.follower:
+		return Health{State: StateFollower}
 	case e.degraded != nil:
 		return Health{State: StateDegraded, Err: e.degraded}
 	}
@@ -275,6 +311,9 @@ func (e *Engine) Health() Health {
 func (e *Engine) writableLocked() error {
 	if e.crashed {
 		return ErrCrashed
+	}
+	if e.follower {
+		return ErrFollower
 	}
 	if e.degraded != nil {
 		e.met.degradedRejects.Inc()

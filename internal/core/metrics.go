@@ -29,6 +29,12 @@ type engineMetrics struct {
 	deviceErrors, degradedRejects *obs.Counter
 	degraded                      *obs.Gauge
 
+	// Follower-mode accounting: records applied via FollowerApply and
+	// the replayed LSN watermark (the replica side of replication lag;
+	// the primary side lives in internal/repl).
+	replApplied  *obs.Counter
+	replReplayed *obs.Gauge
+
 	// Per-operation end-to-end latency (lock waits included).
 	updateNs, delegateNs, commitNs, abortNs *obs.Histogram
 
@@ -58,6 +64,8 @@ func bindEngineMetrics(r *obs.Registry) engineMetrics {
 		deviceErrors:      r.Counter("core.device_errors"),
 		degradedRejects:   r.Counter("core.degraded_rejects"),
 		degraded:          r.Gauge("core.degraded"),
+		replApplied:       r.Counter("repl.applied_records"),
+		replReplayed:      r.Gauge("repl.replayed_lsn"),
 		updateNs:          r.Histogram("core.update_ns"),
 		delegateNs:        r.Histogram("core.delegate_ns"),
 		commitNs:          r.Histogram("core.commit_ns"),

@@ -15,6 +15,40 @@ import (
 // failpoint fires (see SetRecoveryFailpoint).
 var ErrInjectedRecoveryFailure = errors.New("core: injected recovery failure")
 
+// replayState is the working state of recovery's forward pass (analysis +
+// redo).  Recover builds one for the duration of the scan; a follower
+// engine keeps one alive for its whole lifetime, because a follower IS a
+// forward pass that never finishes — until Promote runs the backward pass
+// over it.
+type replayState struct {
+	// applied tracks, per object, the LSN through which the stable page
+	// image already reflects the object's updates (discovered lazily from
+	// the pageLSN of the page holding it); redo applies only younger
+	// records, making redo idempotent across repeated crashes.
+	applied map[wal.ObjectID]wal.LSN
+	// compensated lists the update LSNs already undone by a CLR seen in
+	// the forward direction; the backward pass skips them.
+	compensated map[wal.LSN]bool
+}
+
+func newReplayState() *replayState {
+	return &replayState{
+		applied:     make(map[wal.ObjectID]wal.LSN),
+		compensated: make(map[wal.LSN]bool),
+	}
+}
+
+// recoveryBook carries the trace bookkeeping captured at the start of a
+// Recover (or Promote) into finishRecoveryLocked, which computes the
+// per-run trace as deltas of the cumulative stats (safe — the latch is
+// held throughout).
+type recoveryBook struct {
+	statsBefore    Stats
+	clustersBefore uint64
+	totalStart     time.Time
+	forwardDur     time.Duration
+}
+
 // Recover restores the engine after a Crash, following §3.6:
 //
 //  1. A single forward pass (analysis + redo) from the last checkpoint —
@@ -36,6 +70,9 @@ var ErrInjectedRecoveryFailure = errors.New("core: injected recovery failure")
 func (e *Engine) Recover() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.follower {
+		return fmt.Errorf("core: a follower does not Recover; reopen it in follower mode or Promote it")
+	}
 	if !e.crashed {
 		return fmt.Errorf("core: Recover called without a crash")
 	}
@@ -45,154 +82,176 @@ func (e *Engine) Recover() error {
 	e.txns.Reset(1)
 	e.state = delegation.State{}
 
-	// Trace bookkeeping: the per-run counters are computed as deltas of
-	// the cumulative stats (safe — the latch is held throughout).
 	e.met.recRuns.Inc()
-	totalStart := time.Now()
-	statsBefore := e.stats
-	clustersBefore := e.met.undoClusters.Load()
+	book := recoveryBook{
+		totalStart:     time.Now(),
+		statsBefore:    e.stats,
+		clustersBefore: e.met.undoClusters.Load(),
+	}
 
-	// ---- Locate the last complete checkpoint. ----
-	scanStart := wal.LSN(1)
-	analysisAfter := wal.NilLSN // records at or below this only redo
-	head := e.log.Head()
-	if ckptEnd, err := e.master.Get(); err != nil {
+	scanStart, analysisAfter, err := e.locateCheckpointLocked()
+	if err != nil {
 		return err
-	} else if ckptEnd != wal.NilLSN && ckptEnd <= head {
-		rec, err := e.log.Get(ckptEnd)
-		if err != nil {
-			return err
-		}
-		if rec.Type != wal.TypeCheckpointEnd {
-			return fmt.Errorf("core: master record points at %v, not a checkpoint end", rec.Type)
-		}
-		ck, err := decodeCheckpoint(rec.Payload)
-		if err != nil {
-			return err
-		}
-		for _, info := range ck.txns {
-			reg := e.txns.Register(info.ID)
-			reg.Status = info.Status
-			reg.LastLSN = info.LastLSN
-			reg.UndoNextLSN = info.UndoNextLSN
-		}
-		e.state = ck.state
-		redoStart := ck.beginLSN
-		for _, recLSN := range ck.dpt {
-			if recLSN == wal.NilLSN {
-				// A dirty page with no known recLSN forces a
-				// full redo (defensive; the buffer layer always
-				// records one).
-				redoStart = 1
-				break
-			}
-			if recLSN < redoStart {
-				redoStart = recLSN
-			}
-		}
-		scanStart = redoStart
-		analysisAfter = ckptEnd
 	}
 
 	// ---- Forward pass: analysis + redo in one sweep (§3.6.1). ----
-	// applied tracks, per object, the LSN through which the stable page
-	// image already reflects the object's updates (discovered lazily
-	// from the pageLSN of the page holding it); redo applies only
-	// younger records, making redo idempotent across repeated crashes.
-	applied := make(map[wal.ObjectID]wal.LSN)
-	compensated := make(map[wal.LSN]bool)
+	rs := newReplayState()
 	forwardStart := time.Now()
 	e.log.ResetReadCursor()
-	err := e.log.Scan(scanStart, wal.NilLSN, func(rec *wal.Record) (bool, error) {
+	err = e.log.Scan(scanStart, wal.NilLSN, func(rec *wal.Record) (bool, error) {
 		e.stats.RecForwardRecords++
-		analyze := rec.LSN > analysisAfter
-		switch rec.Type {
-		case wal.TypeBegin:
-			if analyze {
-				info := e.txns.Register(rec.TxID)
-				info.Status = txn.Active
-				info.LastLSN = rec.LSN
-				e.state[rec.TxID] = delegation.NewObList()
-			}
-		case wal.TypeUpdate, wal.TypeIncrement:
-			if analyze {
-				info := e.txns.Register(rec.TxID)
-				info.LastLSN = rec.LSN
-				ol := e.state[rec.TxID]
-				if ol == nil {
-					ol = delegation.NewObList()
-					e.state[rec.TxID] = ol
-				}
-				ol.RecordUpdate(rec.TxID, rec.Object, rec.LSN)
-			}
-			if rec.Type == wal.TypeIncrement {
-				if err := e.redoApplyDelta(applied, rec.Object, rec.Delta, rec.LSN); err != nil {
-					return false, err
-				}
-			} else if err := e.redoApply(applied, rec.Object, rec.After, rec.LSN); err != nil {
-				return false, err
-			}
-		case wal.TypeCLR:
-			compensated[rec.Compensates] = true
-			if analyze {
-				if info := e.txns.Get(rec.TxID); info != nil {
-					info.LastLSN = rec.LSN
-				}
-			}
-			if rec.Logical {
-				if err := e.redoApplyDelta(applied, rec.Object, rec.Delta, rec.LSN); err != nil {
-					return false, err
-				}
-			} else if err := e.redoApply(applied, rec.Object, rec.Before, rec.LSN); err != nil {
-				return false, err
-			}
-		case wal.TypeDelegate:
-			if analyze {
-				torList := e.state[rec.Tor]
-				teeList := e.state[rec.Tee]
-				if torList == nil || teeList == nil {
-					return false, fmt.Errorf("core: delegate record %d references unknown transactions", rec.LSN)
-				}
-				torList.DelegateTo(teeList, rec.Tor, rec.Object)
-				if torInfo := e.txns.Get(rec.Tor); torInfo != nil {
-					torInfo.LastLSN = rec.LSN
-				}
-				if teeInfo := e.txns.Get(rec.Tee); teeInfo != nil {
-					teeInfo.LastLSN = rec.LSN
-				}
-			}
-		case wal.TypeCommit:
-			if analyze {
-				e.stats.RecWinners++
-				if info := e.txns.Get(rec.TxID); info != nil {
-					info.Status = txn.Committed
-					info.LastLSN = rec.LSN
-				}
-			}
-		case wal.TypeAbort:
-			if analyze {
-				if info := e.txns.Get(rec.TxID); info != nil {
-					info.Status = txn.Aborted
-					info.LastLSN = rec.LSN
-				}
-			}
-		case wal.TypeEnd:
-			if analyze {
-				e.txns.Remove(rec.TxID)
-				delete(e.state, rec.TxID)
-			}
-		case wal.TypeCheckpointBegin, wal.TypeCheckpointEnd:
-			// Checkpoints carry no database changes.
-		default:
-			return false, fmt.Errorf("core: unexpected record %v during recovery", rec.Type)
+		if err := e.applyRecordLocked(rec, rec.LSN > analysisAfter, rs); err != nil {
+			return false, err
 		}
 		return true, nil
 	})
 	if err != nil {
 		return err
 	}
-	forwardDur := time.Since(forwardStart)
+	book.forwardDur = time.Since(forwardStart)
 
+	return e.finishRecoveryLocked(rs, book)
+}
+
+// locateCheckpointLocked consults the master record, seeds the transaction
+// table and the object lists from the last complete checkpoint, and
+// returns where the forward scan starts (the checkpoint's redo point, or
+// LSN 1 without one) and the LSN at or below which records are redo-only
+// because analysis state comes from the checkpoint snapshot.
+func (e *Engine) locateCheckpointLocked() (scanStart, analysisAfter wal.LSN, err error) {
+	scanStart = 1
+	analysisAfter = wal.NilLSN
+	head := e.log.Head()
+	ckptEnd, err := e.master.Get()
+	if err != nil {
+		return 0, 0, err
+	}
+	if ckptEnd == wal.NilLSN || ckptEnd > head {
+		return scanStart, analysisAfter, nil
+	}
+	rec, err := e.log.Get(ckptEnd)
+	if err != nil {
+		return 0, 0, err
+	}
+	if rec.Type != wal.TypeCheckpointEnd {
+		return 0, 0, fmt.Errorf("core: master record points at %v, not a checkpoint end", rec.Type)
+	}
+	ck, err := decodeCheckpoint(rec.Payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, info := range ck.txns {
+		reg := e.txns.Register(info.ID)
+		reg.Status = info.Status
+		reg.LastLSN = info.LastLSN
+		reg.UndoNextLSN = info.UndoNextLSN
+	}
+	e.state = ck.state
+	redoStart := ck.beginLSN
+	for _, recLSN := range ck.dpt {
+		if recLSN == wal.NilLSN {
+			// A dirty page with no known recLSN forces a full redo
+			// (defensive; the buffer layer always records one).
+			redoStart = 1
+			break
+		}
+		if recLSN < redoStart {
+			redoStart = recLSN
+		}
+	}
+	return redoStart, ckptEnd, nil
+}
+
+// applyRecordLocked replays one log record into the volatile tables: when
+// analyze is set the transaction table and the object lists absorb it
+// (delegate records rewrite scopes exactly as normal processing did), and
+// updates/CLRs are redone onto pages not already covering them.  This is
+// the body of recovery's forward pass; a follower engine calls it once
+// per shipped record, forever.
+func (e *Engine) applyRecordLocked(rec *wal.Record, analyze bool, rs *replayState) error {
+	switch rec.Type {
+	case wal.TypeBegin:
+		if analyze {
+			info := e.txns.Register(rec.TxID)
+			info.Status = txn.Active
+			info.LastLSN = rec.LSN
+			e.state[rec.TxID] = delegation.NewObList()
+		}
+	case wal.TypeUpdate, wal.TypeIncrement:
+		if analyze {
+			info := e.txns.Register(rec.TxID)
+			info.LastLSN = rec.LSN
+			ol := e.state[rec.TxID]
+			if ol == nil {
+				ol = delegation.NewObList()
+				e.state[rec.TxID] = ol
+			}
+			ol.RecordUpdate(rec.TxID, rec.Object, rec.LSN)
+		}
+		if rec.Type == wal.TypeIncrement {
+			return e.redoApplyDelta(rs.applied, rec.Object, rec.Delta, rec.LSN)
+		}
+		return e.redoApply(rs.applied, rec.Object, rec.After, rec.LSN)
+	case wal.TypeCLR:
+		rs.compensated[rec.Compensates] = true
+		if analyze {
+			if info := e.txns.Get(rec.TxID); info != nil {
+				info.LastLSN = rec.LSN
+			}
+		}
+		if rec.Logical {
+			return e.redoApplyDelta(rs.applied, rec.Object, rec.Delta, rec.LSN)
+		}
+		return e.redoApply(rs.applied, rec.Object, rec.Before, rec.LSN)
+	case wal.TypeDelegate:
+		if analyze {
+			torList := e.state[rec.Tor]
+			teeList := e.state[rec.Tee]
+			if torList == nil || teeList == nil {
+				return fmt.Errorf("core: delegate record %d references unknown transactions", rec.LSN)
+			}
+			torList.DelegateTo(teeList, rec.Tor, rec.Object)
+			if torInfo := e.txns.Get(rec.Tor); torInfo != nil {
+				torInfo.LastLSN = rec.LSN
+			}
+			if teeInfo := e.txns.Get(rec.Tee); teeInfo != nil {
+				teeInfo.LastLSN = rec.LSN
+			}
+		}
+	case wal.TypeCommit:
+		if analyze {
+			e.stats.RecWinners++
+			if info := e.txns.Get(rec.TxID); info != nil {
+				info.Status = txn.Committed
+				info.LastLSN = rec.LSN
+			}
+		}
+	case wal.TypeAbort:
+		if analyze {
+			if info := e.txns.Get(rec.TxID); info != nil {
+				info.Status = txn.Aborted
+				info.LastLSN = rec.LSN
+			}
+		}
+	case wal.TypeEnd:
+		if analyze {
+			e.txns.Remove(rec.TxID)
+			delete(e.state, rec.TxID)
+		}
+	case wal.TypeCheckpointBegin, wal.TypeCheckpointEnd:
+		// Checkpoints carry no database changes.
+	default:
+		return fmt.Errorf("core: unexpected record %v during recovery", rec.Type)
+	}
+	return nil
+}
+
+// finishRecoveryLocked runs everything after the forward pass:
+// classification, the backward cluster sweep, loser termination, the final
+// log force, and the trace.  Recover calls it after its scan; Promote
+// calls it over the follower's continuously maintained replay state —
+// promotion IS this function, there is no separate code path.
+func (e *Engine) finishRecoveryLocked(rs *replayState, book recoveryBook) error {
 	// ---- Classify winners and losers; build LsrScopes (§3.6.1). ----
 	var losers []wal.TxID
 	for _, info := range e.txns.Snapshot() {
@@ -223,10 +282,10 @@ func (e *Engine) Recover() error {
 		// Ablation: the rejected alternative — "scan all log records
 		// backwards, identifying the loser updates … unnecessarily
 		// inspecting many winner updates."
-		if err := e.undoScopesFullScan(lsrScopes, compensated); err != nil {
+		if err := e.undoScopesFullScan(lsrScopes, rs.compensated); err != nil {
 			return err
 		}
-	} else if err := e.undoScopes(lsrScopes, compensated); err != nil {
+	} else if err := e.undoScopes(lsrScopes, rs.compensated); err != nil {
 		return err
 	}
 	e.stats.RecCLRs += e.stats.CLRs - undoneBefore
@@ -260,24 +319,24 @@ func (e *Engine) Recover() error {
 	// ---- Record the trace and the cumulative recovery metrics. ----
 	delta := func(after, before uint64) uint64 { return after - before }
 	e.lastTrace = RecoveryTrace{
-		ForwardDur:      forwardDur,
+		ForwardDur:      book.forwardDur,
 		BackwardDur:     backwardDur,
-		TotalDur:        time.Since(totalStart),
-		ForwardRecords:  delta(e.stats.RecForwardRecords, statsBefore.RecForwardRecords),
-		Redone:          delta(e.stats.RecRedone, statsBefore.RecRedone),
-		BackwardVisited: delta(e.stats.RecBackwardVisited, statsBefore.RecBackwardVisited),
-		BackwardSkipped: delta(e.stats.RecBackwardSkipped, statsBefore.RecBackwardSkipped),
-		Clusters:        e.met.undoClusters.Load() - clustersBefore,
-		CLRs:            delta(e.stats.RecCLRs, statsBefore.RecCLRs),
-		Losers:          delta(e.stats.RecLosers, statsBefore.RecLosers),
-		Winners:         delta(e.stats.RecWinners, statsBefore.RecWinners),
+		TotalDur:        time.Since(book.totalStart),
+		ForwardRecords:  delta(e.stats.RecForwardRecords, book.statsBefore.RecForwardRecords),
+		Redone:          delta(e.stats.RecRedone, book.statsBefore.RecRedone),
+		BackwardVisited: delta(e.stats.RecBackwardVisited, book.statsBefore.RecBackwardVisited),
+		BackwardSkipped: delta(e.stats.RecBackwardSkipped, book.statsBefore.RecBackwardSkipped),
+		Clusters:        e.met.undoClusters.Load() - book.clustersBefore,
+		CLRs:            delta(e.stats.RecCLRs, book.statsBefore.RecCLRs),
+		Losers:          delta(e.stats.RecLosers, book.statsBefore.RecLosers),
+		Winners:         delta(e.stats.RecWinners, book.statsBefore.RecWinners),
 	}
 	e.met.recForwardRecords.Add(e.lastTrace.ForwardRecords)
 	e.met.recRedone.Add(e.lastTrace.Redone)
 	e.met.recCLRs.Add(e.lastTrace.CLRs)
 	e.met.recLosers.Add(e.lastTrace.Losers)
 	e.met.recWinners.Add(e.lastTrace.Winners)
-	e.met.recForwardNs.Observe(forwardDur)
+	e.met.recForwardNs.Observe(book.forwardDur)
 	e.met.recBackwardNs.Observe(backwardDur)
 	e.met.recTotalNs.Observe(e.lastTrace.TotalDur)
 	if e.reg.HasEventHook() {

@@ -1,0 +1,97 @@
+// Package repl implements log-shipping replication for the ARIES/RH
+// engine: a Primary tails its own write-ahead log through a
+// wal.Subscription and streams the durable records to a Replica, which
+// runs a follower-mode engine — recovery's forward pass, continuously —
+// and acknowledges records as they become durable locally.  Promotion is
+// the engine's existing backward pass (core.Engine.Promote); this package
+// only moves bytes.
+//
+// The wire protocol is four message kinds over any io.ReadWriter (an
+// in-process pipe in tests, a TCP connection in cmd/rhstandby):
+//
+//	hello    replica → primary   u64: first LSN the replica wants
+//	records  primary → replica   u64: primary's flushed LSN, then one or
+//	                             more encoded record frames (wal.EncodeRecord)
+//	ack      replica → primary   u64: LSN through which the replica's log
+//	                             is durable; releases the retention pin
+//	error    primary → replica   u8 code, utf-8 detail
+//
+// Every message is framed as `u8 kind | u32 payload length | payload`,
+// little-endian.  Record frames are self-delimiting (length + checksum
+// header), so the records payload is their plain concatenation.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"ariesrh/internal/wal"
+)
+
+const (
+	msgHello   = 1
+	msgRecords = 2
+	msgAck     = 3
+	msgError   = 4
+)
+
+// Error codes carried by msgError.
+const (
+	errCodeGeneric        = 0
+	errCodeSnapshotNeeded = 1 // the requested LSN is archived; bootstrap from a backup
+)
+
+// maxMsgLen bounds a single message; a frame claiming more is treated as
+// stream corruption rather than a huge allocation.
+const maxMsgLen = 64 << 20
+
+const frameHeader = 5 // u8 kind + u32 length
+
+// writeMsg frames and writes one message in a single Write call.
+func writeMsg(w io.Writer, kind byte, payload []byte) error {
+	buf := make([]byte, frameHeader+len(payload))
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(payload)))
+	copy(buf[frameHeader:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readMsg reads one framed message.
+func readMsg(r io.Reader) (byte, []byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > maxMsgLen {
+		return 0, nil, fmt.Errorf("repl: message of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// writeLSNMsg writes a message whose whole payload is one LSN.
+func writeLSNMsg(w io.Writer, kind byte, lsn wal.LSN) error {
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], uint64(lsn))
+	return writeMsg(w, kind, payload[:])
+}
+
+// decodeRecords splits a records payload back into records.
+func decodeRecords(p []byte) ([]*wal.Record, error) {
+	var recs []*wal.Record
+	for len(p) > 0 {
+		rec, n, err := wal.DecodeRecord(p)
+		if err != nil {
+			return nil, fmt.Errorf("repl: corrupt record frame: %w", err)
+		}
+		recs = append(recs, rec)
+		p = p[n:]
+	}
+	return recs, nil
+}

@@ -1,0 +1,158 @@
+package repl
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"ariesrh/internal/core"
+	"ariesrh/internal/obs"
+	"ariesrh/internal/wal"
+)
+
+// ErrSnapshotNeeded is returned by Follow when the primary has archived
+// the records this replica's cursor points at: incremental catch-up is
+// impossible and the replica must be rebuilt from a fresh backup of the
+// primary (see ariesrh.DB.Backup / OpenStandby).
+var ErrSnapshotNeeded = errors.New("repl: replica cursor is archived on the primary; bootstrap from a fresh backup")
+
+// ErrNotFollower is returned by NewReplica for an engine that is not in
+// follower mode.
+var ErrNotFollower = errors.New("repl: engine is not a follower")
+
+// Replica is the receiving side of replication: it feeds shipped records
+// into a follower-mode engine (continuous analysis + redo — updates land
+// on pages, delegate records rewrite the live Ob_List scopes), makes them
+// durable in its local log, and acknowledges the durable LSN upstream.
+type Replica struct {
+	eng *core.Engine
+
+	mu          sync.Mutex
+	primaryLSN  wal.LSN // primary's flushed LSN as of the last records message
+	lagRecords  *obs.Gauge
+	appliedMsgs uint64
+}
+
+// NewReplica wraps a follower engine (core.Options.Follower).
+func NewReplica(eng *core.Engine) (*Replica, error) {
+	if !eng.IsFollower() {
+		return nil, ErrNotFollower
+	}
+	return &Replica{
+		eng:        eng,
+		lagRecords: eng.Registry().Gauge("repl.lag_records"),
+	}, nil
+}
+
+// Engine returns the underlying follower engine (for reads at the
+// replayed LSN and for Promote).
+func (r *Replica) Engine() *core.Engine { return r.eng }
+
+// Follow connects to a primary over rw and streams until the connection
+// fails or the primary reports an error.  The hello carries this
+// replica's LSN cursor — its local log head plus one — so a reconnect
+// after a disconnect resumes exactly where the durable prefix ends.
+// Records are applied, forced to the local log, and acknowledged; the
+// primary releases retained log space only up to what is durable HERE.
+func (r *Replica) Follow(rw io.ReadWriter) error {
+	if err := writeLSNMsg(rw, msgHello, r.eng.Log().Head()+1); err != nil {
+		return err
+	}
+	for {
+		kind, payload, err := readMsg(rw)
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case msgRecords:
+			if len(payload) < 8 {
+				return fmt.Errorf("repl: short records message (%d bytes)", len(payload))
+			}
+			primaryLSN := wal.LSN(binary.LittleEndian.Uint64(payload))
+			recs, err := decodeRecords(payload[8:])
+			if err != nil {
+				return err
+			}
+			if len(recs) > 0 {
+				if err := r.eng.FollowerApply(recs); err != nil {
+					return err
+				}
+				durable, err := r.eng.FollowerFlush()
+				if err != nil {
+					return err
+				}
+				if err := writeLSNMsg(rw, msgAck, durable); err != nil {
+					return err
+				}
+			}
+			r.mu.Lock()
+			r.primaryLSN = primaryLSN
+			r.appliedMsgs++
+			r.mu.Unlock()
+			lag := int64(0)
+			if replayed := r.eng.ReplayedLSN(); primaryLSN > replayed {
+				lag = int64(primaryLSN - replayed)
+			}
+			r.lagRecords.Set(lag)
+		case msgError:
+			if len(payload) >= 1 && payload[0] == errCodeSnapshotNeeded {
+				return fmt.Errorf("%w: %s", ErrSnapshotNeeded, payload[1:])
+			}
+			detail := payload
+			if len(detail) >= 1 {
+				detail = detail[1:]
+			}
+			return fmt.Errorf("repl: primary error: %s", detail)
+		default:
+			return fmt.Errorf("repl: unexpected message kind %d from primary", kind)
+		}
+	}
+}
+
+// Health describes the replica's position in the stream.
+type Health struct {
+	// ReplayedLSN is the consistency point reads are served at.
+	ReplayedLSN wal.LSN
+	// DurableLSN is how far the local log is forced; it bounds what this
+	// replica has acknowledged.
+	DurableLSN wal.LSN
+	// PrimaryLSN is the primary's flushed LSN as of the last records
+	// message (NilLSN before the first).
+	PrimaryLSN wal.LSN
+	// LagRecords is max(0, PrimaryLSN - ReplayedLSN).
+	LagRecords uint64
+}
+
+// Health returns the replica's current watermarks.
+func (r *Replica) Health() Health {
+	r.mu.Lock()
+	primary := r.primaryLSN
+	r.mu.Unlock()
+	h := Health{
+		ReplayedLSN: r.eng.ReplayedLSN(),
+		DurableLSN:  r.eng.Log().FlushedLSN(),
+		PrimaryLSN:  primary,
+	}
+	if primary > h.ReplayedLSN {
+		h.LagRecords = uint64(primary - h.ReplayedLSN)
+	}
+	return h
+}
+
+// Read returns obj's value and the replayed LSN it is consistent with.
+func (r *Replica) Read(obj wal.ObjectID) ([]byte, bool, wal.LSN, error) {
+	return r.eng.FollowerRead(obj)
+}
+
+// Promote runs the engine's promotion — recovery's backward pass over the
+// follower's live analysis state — and returns the promoted engine, now a
+// primary accepting writes.  Stop Follow (disconnect the transport)
+// before promoting.
+func (r *Replica) Promote() (*core.Engine, error) {
+	if err := r.eng.Promote(); err != nil {
+		return nil, err
+	}
+	return r.eng, nil
+}

@@ -1,0 +1,60 @@
+package torture
+
+import "testing"
+
+// TestReplPromoteSweep is the replication headline: at every sync
+// boundary of a delegation-heavy trace, crash the primary mid-stream,
+// promote the live replica, and require the promoted state to equal the
+// durable-log oracle over the replica's own log — with the promotion
+// backward pass holding the recovery undo invariants, and the replica's
+// log a byte-exact prefix of the crashed primary's device image.
+func TestReplPromoteSweep(t *testing.T) {
+	cfg := Config{Seed: 11, Steps: 600}
+	if testing.Short() {
+		cfg.MaxBoundaries = 24
+	}
+	res, err := ReplRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("repl sweep: %+v", res)
+	want := res.Boundaries
+	if cfg.MaxBoundaries > 0 && want > cfg.MaxBoundaries {
+		want = cfg.MaxBoundaries
+	}
+	if res.Promotions != want {
+		t.Errorf("promoted at %d of %d boundaries", res.Promotions, want)
+	}
+	if res.TornCrashes == 0 {
+		t.Error("no boundary left a torn tail on the primary")
+	}
+	if !testing.Short() && res.UnshippedRecords == 0 {
+		t.Error("no boundary had unflushed primary records missing from the replica; " +
+			"the prefix assertion proved nothing")
+	}
+	if res.Winners == 0 || res.Losers == 0 {
+		t.Errorf("degenerate classification: %d winners, %d losers", res.Winners, res.Losers)
+	}
+	if res.UndoVisits == 0 {
+		t.Error("no promotion ever visited a record in its backward pass")
+	}
+}
+
+// TestReplPromoteSweepDeterminism pins reproducibility for the
+// replication sweep: aggregation must be identical across runs despite
+// the concurrent stream (the stream only changes WHEN records arrive,
+// never what is durable where).
+func TestReplPromoteSweepDeterminism(t *testing.T) {
+	cfg := Config{Seed: 12, Steps: 300, MaxBoundaries: 20}
+	a, err := ReplRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReplRun(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different repl sweeps:\n  %+v\n  %+v", a, b)
+	}
+}

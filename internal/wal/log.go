@@ -67,9 +67,16 @@ func (s AccessStats) Sub(o AccessStats) AccessStats {
 // ErrNoSuchLSN is returned by Get for LSNs that name no record.
 var ErrNoSuchLSN = errors.New("wal: no such LSN")
 
-// ErrArchived is returned by Get/Scan for LSNs that were discarded by
-// Archive.
+// ErrArchived is returned by Get/Scan/Rewrite for LSNs that were
+// discarded by Archive.  Every path wraps it through errArchived, so the
+// message shape is uniform: "wal: record archived: lsn N <= base M".
 var ErrArchived = errors.New("wal: record archived")
+
+// errArchived wraps ErrArchived with the one message shape all paths
+// share.
+func errArchived(lsn, base LSN) error {
+	return fmt.Errorf("%w: lsn %d <= base %d", ErrArchived, lsn, base)
+}
 
 // ErrRewriteSizeChanged is returned by Rewrite when the mutated record does
 // not re-encode to exactly its original size (in-place patching would
@@ -134,6 +141,13 @@ type Log struct {
 	// unless the error is marked ErrNoRetry.  See SetFlushRetryPolicy.
 	retryMax     int
 	retryBackoff time.Duration
+
+	// Tail subscriptions (see Subscribe): tailCond is broadcast whenever
+	// the durable horizon advances (or a subscription closes), waking
+	// blocked Next calls; each live subscription's retention pin bounds
+	// what Archive may discard.
+	subs     map[*Subscription]struct{}
+	tailCond *sync.Cond
 
 	lastReadLSN LSN
 	stats       AccessStats
@@ -203,6 +217,8 @@ func NewLog(store Store) (*Log, error) {
 		retryBackoff: defaultFlushBackoff,
 	}
 	l.flushIdle = sync.NewCond(&l.mu)
+	l.tailCond = sync.NewCond(&l.mu)
+	l.subs = make(map[*Subscription]struct{})
 	if err := l.loadFromStore(); err != nil {
 		return nil, err
 	}
@@ -432,6 +448,7 @@ func (l *Log) Flush(upTo LSN) error {
 	l.met.flushNs.Observe(time.Since(start))
 	l.flushedBytes = end
 	l.flushedLSN = upTo
+	l.tailCond.Broadcast()
 	return nil
 }
 
@@ -552,6 +569,7 @@ func (l *Log) flushRangeUnlatched(upTo LSN) error {
 	}
 	l.flushedBytes = end
 	l.flushedLSN = upTo
+	l.tailCond.Broadcast()
 	l.stats.Flushes++
 	l.stats.GroupedFlushes++
 	l.stats.FlushedBytes += uint64(end - start)
@@ -576,7 +594,7 @@ func (l *Log) Get(lsn LSN) (*Record, error) {
 
 func (l *Log) getLocked(lsn LSN) (*Record, error) {
 	if lsn != NilLSN && lsn <= l.base {
-		return nil, fmt.Errorf("%w: %d (base %d)", ErrArchived, lsn, l.base)
+		return nil, errArchived(lsn, l.base)
 	}
 	if lsn == NilLSN || int(lsn-l.base) > len(l.offsets) {
 		return nil, fmt.Errorf("%w: %d (head %d)", ErrNoSuchLSN, lsn, l.base+LSN(len(l.offsets)))
@@ -641,7 +659,7 @@ func (l *Log) Rewrite(lsn LSN, fn func(*Record)) error {
 	defer l.mu.Unlock()
 	l.waitFlushIdleLocked()
 	if lsn != NilLSN && lsn <= l.base {
-		return fmt.Errorf("%w: %d", ErrArchived, lsn)
+		return errArchived(lsn, l.base)
 	}
 	if lsn == NilLSN || int(lsn-l.base) > len(l.offsets) {
 		return fmt.Errorf("%w: %d", ErrNoSuchLSN, lsn)
@@ -697,6 +715,11 @@ func (l *Log) Crash() error {
 	// rounds, so it drains before we proceed whenever it is mid-queue);
 	// their transactions then observe the engine's crashed flag.
 	l.waitFlushIdleLocked()
+	// The crash takes the shipping side down with it: every tail
+	// subscription is closed (a real process failure severs its
+	// replication connections); replicas reattach after recovery with
+	// their LSN cursor.
+	l.closeAllSubsLocked(fmt.Errorf("%w: log crashed", ErrSubscriptionClosed))
 	stats := l.stats
 	if err := l.loadFromStore(); err != nil {
 		return err
@@ -722,6 +745,11 @@ func (l *Log) Archive(upTo LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.waitFlushIdleLocked()
+	// Retention pin: an attached tail subscription (a replica) may still
+	// need records from its pin onward; clamp rather than discard them.
+	if pin := l.minPinLocked(); pin != NilLSN && upTo >= pin {
+		upTo = pin - 1
+	}
 	if upTo <= l.base {
 		return nil
 	}
