@@ -7,18 +7,29 @@
 #   make standby-demo  end-to-end log-shipping failover over TCP
 #   make bench-e8  regenerate BENCH_E8.json (quick sizes)
 #   make bench-e11 regenerate BENCH_E11.json (quick sizes)
+#   make bench-e12 regenerate BENCH_E12.json (quick sizes)
 
 GO ?= go
 
-.PHONY: check ci vet build test race fuzz-short torture standby-demo bench bench-e8 bench-e11
+.PHONY: check ci vet staticcheck build test race fuzz-short torture standby-demo bench bench-e8 bench-e11 bench-e12
 
 check: vet build test race
 
 # Mirror of the CI pipeline: full race (not -short) on the latch-heavy
 # packages plus a short fuzz pass over both wire-format decoders.
-ci: vet build test
+ci: vet staticcheck build test
 	$(GO) test -race ./internal/core ./internal/wal ./internal/repl
 	$(MAKE) fuzz-short
+
+# staticcheck is optional tooling: CI installs it, dev environments may
+# only have the go toolchain — skip (loudly) where it isn't on PATH
+# rather than failing the whole pipeline.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 fuzz-short:
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 30s
@@ -44,6 +55,8 @@ race:
 # sweep at fixed seeds (no -short boundary cap), the replication
 # promote-under-crash sweep (crash the primary at every sync boundary,
 # promote a live replica, judge against the durable-log oracle), the
+# early-lock-release sweep (crash a contended concurrent workload
+# between lock release and commit-record flush at every boundary), the
 # scope audit, and the transient/persistent fault paths.  Budgeted for
 # the nightly CI job; a laptop run takes on the order of a minute.
 torture:
@@ -62,3 +75,6 @@ bench-e8:
 
 bench-e11:
 	$(GO) run ./cmd/rhbench -exp e11 -quick -json BENCH_E11.json
+
+bench-e12:
+	$(GO) run ./cmd/rhbench -exp e12 -quick -json BENCH_E12.json

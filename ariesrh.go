@@ -68,6 +68,13 @@ var (
 	// degraded mode.  Reads and Abort still work; Crash + Recover with a
 	// healthy device is the repair action.  See DB.Health.
 	ErrDegraded = core.ErrDegraded
+	// ErrCommitAborted is returned by Commit when an early-lock-release
+	// commit (Options.EarlyLockRelease) could not be made durable: the
+	// locks were released at commit-record append, so the transaction
+	// cannot go back to being active — it has been rolled back, along
+	// with every transaction that violated its early-released locks.
+	// The Tx handle is terminated.  Wraps the device error.
+	ErrCommitAborted = core.ErrCommitAborted
 )
 
 // GroupCommitMode selects how Commit forces the log (re-exported from the
@@ -106,6 +113,14 @@ type Options struct {
 	// harnesses and tests drive crash schedules through the public API.
 	// Mutually exclusive with Dir, which opens its own log file.
 	FaultStore wal.Store
+	// EarlyLockRelease enables controlled lock violation: Commit
+	// releases the transaction's locks at commit-record append and
+	// defers only the durability ack to the group flusher, trading lock
+	// hold time for commit-dependency tracking.  The commit ack still
+	// implies durability; see core.Options.EarlyLockRelease for the full
+	// crash contract.  Requires group commit (ignored with
+	// GroupCommitOff).
+	EarlyLockRelease bool
 }
 
 // DB is a handle to an ARIES/RH database.
@@ -123,7 +138,11 @@ func Open(opts ...Options) (*DB, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	engineOpts := core.Options{PoolSize: o.PoolSize, GroupCommit: o.GroupCommit}
+	engineOpts := core.Options{
+		PoolSize:         o.PoolSize,
+		GroupCommit:      o.GroupCommit,
+		EarlyLockRelease: o.EarlyLockRelease,
+	}
 	if o.FaultStore != nil {
 		if o.Dir != "" {
 			return nil, errors.New("ariesrh: Options.Dir and Options.FaultStore are mutually exclusive")
@@ -429,6 +448,11 @@ func (tx *Tx) Commit() error {
 		return ErrTxDone
 	}
 	if err := tx.db.eng.Commit(tx.id); err != nil {
+		if errors.Is(err, ErrCommitAborted) {
+			// The early-lock-release rollback terminated the
+			// transaction; the handle is dead too.
+			tx.done = true
+		}
 		return err
 	}
 	tx.done = true

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e11, a1, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e12, a1, or all")
 	quick := flag.Bool("quick", false, "use smaller workload sizes")
 	jsonPath := flag.String("json", "", "also write the tables as a JSON array to this file")
 	flag.Parse()
@@ -104,6 +104,17 @@ func main() {
 			}
 			return bench.E11ReplicationLag(committers, txnsPer, updatesPer, delay)
 		}},
+		{"e12", func() (*bench.Table, error) {
+			// Contended committers over a shared hot set: the cell pair at
+			// each count isolates what early lock release buys.
+			committers := []int{1, 4, 8, 16, 32, 64}
+			txnsPer, updatesPer, hot, delay := 32, 2, 12, 200*time.Microsecond
+			if *quick {
+				committers = []int{1, 8, 64}
+				txnsPer, delay = 16, 100*time.Microsecond
+			}
+			return bench.E12EarlyLockRelease(committers, txnsPer, updatesPer, hot, delay)
+		}},
 	}
 
 	var tables []*bench.Table
@@ -121,7 +132,7 @@ func main() {
 		tables = append(tables, table)
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want e1..e11, a1, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want e1..e12, a1, or all)", *exp)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")

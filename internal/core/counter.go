@@ -73,11 +73,11 @@ func (e *Engine) Increment(tx wal.TxID, obj wal.ObjectID, delta int64) (int64, e
 	if err := e.writableLocked(); err != nil {
 		return 0, err
 	}
-	info, err := e.activeInfo(tx)
+	info, err := e.activeAfterLockLocked(tx)
 	if err != nil {
-		e.locks.ReleaseAll(tx) // see Update: stale grant for a dead tx
 		return 0, err
 	}
+	e.noteViolationsLocked(tx, obj, lock.Increment)
 	curBytes, _, err := e.store.Read(obj)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,505 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ariesrh/internal/txn"
+	"ariesrh/internal/wal"
+)
+
+// elrStore gates Sync for early-lock-release tests: each armed Sync
+// signals entered, blocks on the gate, and — if failOnRelease was set
+// while it was blocked — fails with a no-retry device error.
+type elrStore struct {
+	wal.Store
+	mu            sync.Mutex
+	armed         bool
+	failOnRelease bool
+	gate          chan struct{}
+	entered       chan struct{}
+}
+
+func newELRStore() *elrStore {
+	return &elrStore{
+		Store:   wal.NewMemStore(),
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 16),
+	}
+}
+
+func (s *elrStore) arm()     { s.mu.Lock(); s.armed = true; s.mu.Unlock() }
+func (s *elrStore) disarm()  { s.mu.Lock(); s.armed = false; s.mu.Unlock() }
+func (s *elrStore) failAll() { s.mu.Lock(); s.failOnRelease = true; s.mu.Unlock() }
+
+func (s *elrStore) Sync() error {
+	s.mu.Lock()
+	armed := s.armed
+	s.mu.Unlock()
+	if !armed {
+		return s.Store.Sync()
+	}
+	s.entered <- struct{}{}
+	<-s.gate
+	s.mu.Lock()
+	fail := s.failOnRelease
+	s.mu.Unlock()
+	if fail {
+		return fmt.Errorf("%w: injected sync failure", wal.ErrNoRetry)
+	}
+	return s.Store.Sync()
+}
+
+func newELREngine(t *testing.T) (*Engine, *elrStore) {
+	t.Helper()
+	store := newELRStore()
+	e, err := New(Options{PoolSize: 16, LogStore: store, GroupCommit: GroupCommitOn, EarlyLockRelease: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, store
+}
+
+// commitAsync starts Commit on its own goroutine and returns the error
+// channel.
+func commitAsync(e *Engine, tx wal.TxID) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- e.Commit(tx) }()
+	return ch
+}
+
+// TestELRReleasesLocksBeforeDurability is the tentpole's core property:
+// with EarlyLockRelease a committer's X lock is available to others
+// while its commit record is still waiting on the device, the violator
+// gains an abort dependency on it, and both commits complete once the
+// flush lands.
+func TestELRReleasesLocksBeforeDurability(t *testing.T) {
+	e, store := newELREngine(t)
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "from-t1")
+	t2 := mustBegin(t, e)
+
+	store.arm()
+	c1 := commitAsync(e, t1)
+	<-store.entered // t1's commit record is on its way to the device
+
+	// The violation: t2 takes t1's early-released X lock and reads the
+	// pre-durable value, all while t1's sync is still in flight.
+	updDone := make(chan error, 1)
+	go func() { updDone <- e.Update(t2, 1, []byte("from-t2")) }()
+	select {
+	case err := <-updDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update blocked on an early-released lock: ELR did not release at commit-record append")
+	}
+
+	e.mu.Lock()
+	var hasEdge bool
+	for _, edge := range e.deps[t2] {
+		if edge.on == t1 && edge.kind == AbortDependency {
+			hasEdge = true
+		}
+	}
+	e.mu.Unlock()
+	if !hasEdge {
+		t.Fatal("violator formed no abort dependency on the pre-durable committer")
+	}
+
+	store.disarm()
+	close(store.gate)
+	if err := <-c1; err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+	mustCommit(t, e, t2)
+	wantValue(t, e, 1, "from-t2")
+
+	m := e.Metrics()
+	if got := m.Counter("elr.commits"); got == 0 {
+		t.Fatal("elr.commits not counted")
+	}
+	if got := m.Counter("elr.violations"); got != 1 {
+		t.Fatalf("elr.violations = %d, want 1", got)
+	}
+	if got := m.Counter("lock.violable_marks"); got == 0 {
+		t.Fatal("lock.violable_marks not counted")
+	}
+	if m.Histogram("elr.ack_defer_ns").Count == 0 {
+		t.Fatal("elr.ack_defer_ns not observed")
+	}
+}
+
+// TestELRViolableMarkersClearedAfterDurability: once the committer's
+// record is durable, later acquirers must not keep forming edges.
+func TestELRViolableMarkersClearedAfterDurability(t *testing.T) {
+	e, _ := newELREngine(t)
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "v1")
+	if err := e.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	// The OnDurable callback runs asynchronously; give it a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		e.mu.Lock()
+		n := len(e.predurable)
+		e.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("predurable entry never cleared after a durable commit")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t2 := mustBegin(t, e)
+	mustUpdate(t, e, t2, 1, "v2")
+	e.mu.Lock()
+	edges := len(e.deps[t2])
+	e.mu.Unlock()
+	if edges != 0 {
+		t.Fatalf("edge formed on a durably committed transaction (%d edges)", edges)
+	}
+	mustCommit(t, e, t2)
+}
+
+// TestELRFlushFailureRollsBackAndCascades: when the commit record cannot
+// reach the device, the ELR committer is rolled back (ErrCommitAborted)
+// and the rollback cascades to the violator that overwrote its
+// pre-durable data; the object returns to its last durable value and the
+// engine degrades.
+func TestELRFlushFailureRollsBackAndCascades(t *testing.T) {
+	e, store := newELREngine(t)
+	setup := mustBegin(t, e)
+	mustUpdate(t, e, setup, 1, "init")
+	mustCommit(t, e, setup)
+
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "t1-dirty")
+	t2 := mustBegin(t, e)
+
+	store.arm()
+	c1 := commitAsync(e, t1)
+	<-store.entered
+
+	if err := e.Update(t2, 1, []byte("t2-dirty")); err != nil {
+		t.Fatal(err)
+	}
+
+	store.failAll()
+	close(store.gate)
+
+	err := <-c1
+	if !errors.Is(err, ErrCommitAborted) {
+		t.Fatalf("t1 commit error = %v, want ErrCommitAborted", err)
+	}
+	// The violator went down with it.
+	if _, err := e.Read(t2, 1); !errors.Is(err, ErrNoSuchTxn) {
+		t.Fatalf("violator survived its predecessor's lost commit: Read err = %v", err)
+	}
+	// The combined reverse-LSN sweep restored the last durable value:
+	// t2's after-image must not resurface over t1's undo.
+	wantValue(t, e, 1, "init")
+	if h := e.Health(); h.State != StateDegraded {
+		t.Fatalf("health = %v after persistent flush failure, want degraded", h.State)
+	}
+	m := e.Metrics()
+	if got := m.Counter("elr.failed_commits"); got != 1 {
+		t.Fatalf("elr.failed_commits = %d, want 1", got)
+	}
+	if got := m.Counter("elr.cascade_aborts"); got != 1 {
+		t.Fatalf("elr.cascade_aborts = %d, want 1", got)
+	}
+}
+
+// TestELRDelegationCarriesDependency: a violator that delegates the
+// dirty scope hands the abort dependency to the delegatee — the
+// delegator's own abort no longer undoes those updates, so the edge must
+// travel with responsibility.
+func TestELRDelegationCarriesDependency(t *testing.T) {
+	e, store := newELREngine(t)
+	setup := mustBegin(t, e)
+	mustUpdate(t, e, setup, 1, "init")
+	mustCommit(t, e, setup)
+
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "t1-dirty")
+	t2 := mustBegin(t, e)
+	t3 := mustBegin(t, e)
+
+	store.arm()
+	c1 := commitAsync(e, t1)
+	<-store.entered
+
+	if err := e.Update(t2, 1, []byte("t2-dirty")); err != nil {
+		t.Fatal(err)
+	}
+	// t2 delegates the violating scope to t3 and commits its way out...
+	if err := e.Delegate(t2, t3, 1); err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	var t3HasEdge bool
+	for _, edge := range e.deps[t3] {
+		if edge.on == t1 && edge.kind == AbortDependency {
+			t3HasEdge = true
+		}
+	}
+	e.mu.Unlock()
+	if !t3HasEdge {
+		t.Fatal("delegatee did not inherit the delegator's dependency on the pre-durable committer")
+	}
+
+	store.failAll()
+	close(store.gate)
+	if err := <-c1; !errors.Is(err, ErrCommitAborted) {
+		t.Fatalf("t1 commit error = %v, want ErrCommitAborted", err)
+	}
+	// t3 owns the dirty delegated scope: it must be gone, and the
+	// delegated update undone.
+	if _, err := e.Read(t3, 1); !errors.Is(err, ErrNoSuchTxn) {
+		t.Fatalf("delegatee of dirty scope survived: Read err = %v", err)
+	}
+	wantValue(t, e, 1, "init")
+}
+
+// TestELRDelegateThenViolate: the delegator commits pre-durably AFTER
+// delegating a scope away; the delegatee commits while the delegator's
+// record is still in flight.  The delegated updates belong to the
+// delegatee — delegation rewrote history — so both survive once the
+// flush lands, in commit order dictated by the log.
+func TestELRDelegateThenViolate(t *testing.T) {
+	e, store := newELREngine(t)
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "delegated")
+	mustUpdate(t, e, t1, 2, "t1-own")
+	t2 := mustBegin(t, e)
+	if err := e.Delegate(t1, t2, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	store.arm()
+	c1 := commitAsync(e, t1) // t1 pre-durable, locks released
+	<-store.entered
+	c2 := commitAsync(e, t2) // delegatee commits before delegator durable
+
+	// Both acks are pending on the same (or later) flush rounds; neither
+	// may have completed yet.
+	select {
+	case err := <-c1:
+		t.Fatalf("t1 acked before its record was durable: %v", err)
+	case err := <-c2:
+		t.Fatalf("t2 acked before its record was durable: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	store.disarm()
+	close(store.gate)
+	if err := <-c1; err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+	if err := <-c2; err != nil {
+		t.Fatalf("t2 commit: %v", err)
+	}
+	wantValue(t, e, 1, "delegated")
+	wantValue(t, e, 2, "t1-own")
+}
+
+// TestELROffHoldsLocksAcrossFlush pins the seed semantics: without
+// EarlyLockRelease a committer's locks stay held until the flush
+// completes, so a conflicting acquirer waits out the device sync.
+func TestELROffHoldsLocksAcrossFlush(t *testing.T) {
+	store := newELRStore()
+	e, err := New(Options{PoolSize: 16, LogStore: store, GroupCommit: GroupCommitOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "from-t1")
+	t2 := mustBegin(t, e)
+
+	store.arm()
+	c1 := commitAsync(e, t1)
+	<-store.entered
+
+	updDone := make(chan error, 1)
+	go func() { updDone <- e.Update(t2, 1, []byte("from-t2")) }()
+	select {
+	case err := <-updDone:
+		t.Fatalf("update got the lock during the committer's sync without ELR (err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	store.disarm()
+	close(store.gate)
+	if err := <-c1; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-updDone; err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, e, t2)
+	wantValue(t, e, 1, "from-t2")
+}
+
+// TestAbortWhileBlockedReleasesStaleGrant is the regression test for the
+// stale-grant cleanup now centralized in activeAfterLockLocked: a
+// transaction aborted while blocked in the lock manager receives its
+// grant posthumously, and the operation must drop that hold — otherwise
+// the object stays locked by a dead transaction forever.
+func TestAbortWhileBlockedReleasesStaleGrant(t *testing.T) {
+	e := newEngine(t)
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "holder")
+	t2 := mustBegin(t, e)
+
+	updDone := make(chan error, 1)
+	go func() { updDone <- e.Update(t2, 1, []byte("blocked")) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for e.Metrics().Gauge("lock.waiters") != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("t2 never blocked on the lock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Abort t2 while it is blocked, then release the lock: the grant
+	// lands for a dead transaction.
+	mustAbort(t, e, t2)
+	mustCommit(t, e, t1)
+	if err := <-updDone; !errors.Is(err, ErrNoSuchTxn) {
+		t.Fatalf("posthumous update error = %v, want ErrNoSuchTxn", err)
+	}
+
+	// The regression: a third transaction must be able to lock obj 1.
+	t3 := mustBegin(t, e)
+	upd3 := make(chan error, 1)
+	go func() { upd3 <- e.Update(t3, 1, []byte("after")) }()
+	select {
+	case err := <-upd3:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("object still locked by a dead transaction's stale grant")
+	}
+	mustCommit(t, e, t3)
+	wantValue(t, e, 1, "after")
+}
+
+// TestFormDependencyConcurrentNoCycle hammers dependency formation from
+// racing goroutines (run under -race in CI) and asserts the graph never
+// admits a cycle: every successful FormDependency kept the graph acyclic
+// no matter how the cycle checks interleaved.
+func TestFormDependencyConcurrentNoCycle(t *testing.T) {
+	e := newEngine(t)
+	const n = 8
+	txs := make([]wal.TxID, n)
+	for i := range txs {
+		txs[i] = mustBegin(t, e)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Deterministic per-goroutine pair sequence; collectively the
+			// goroutines attempt edges in both directions between many
+			// pairs, so only the cycle check keeps the graph acyclic.
+			for i := 0; i < 200; i++ {
+				dep := txs[(g+i)%n]
+				on := txs[(g*3+i*7+1)%n]
+				if dep == on {
+					continue
+				}
+				kind := AbortDependency
+				if i%2 == 0 {
+					kind = CommitDependency
+				}
+				err := e.FormDependency(dep, on, kind)
+				if err != nil && !errors.Is(err, ErrDependencyCycle) {
+					t.Errorf("FormDependency(t%d, t%d): %v", dep, on, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Kahn's algorithm: the final graph must topologically sort.
+	e.mu.Lock()
+	indeg := make(map[wal.TxID]int, n)
+	out := make(map[wal.TxID][]wal.TxID, n)
+	for _, tx := range txs {
+		indeg[tx] = 0
+	}
+	edges := 0
+	for dep, list := range e.deps {
+		for _, edge := range list {
+			out[edge.on] = append(out[edge.on], dep)
+			indeg[dep]++
+			edges++
+		}
+	}
+	e.mu.Unlock()
+	if edges == 0 {
+		t.Fatal("no edges formed; the hammer did not exercise anything")
+	}
+	var queue []wal.TxID
+	for tx, d := range indeg {
+		if d == 0 {
+			queue = append(queue, tx)
+		}
+	}
+	sorted := 0
+	for len(queue) > 0 {
+		tx := queue[0]
+		queue = queue[1:]
+		sorted++
+		for _, next := range out[tx] {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if sorted != n {
+		t.Fatalf("dependency graph admitted a cycle: %d of %d transactions sorted", sorted, n)
+	}
+}
+
+// TestELRCommitStatusDuringWindow: while the ack is deferred the
+// transaction reports Committed (not Active), so cascading aborts cannot
+// victimize it and dependents observe the right state.
+func TestELRCommitStatusDuringWindow(t *testing.T) {
+	e, store := newELREngine(t)
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "v")
+	store.arm()
+	c1 := commitAsync(e, t1)
+	<-store.entered
+	e.mu.Lock()
+	info := e.txns.Get(t1)
+	status := txn.Aborted
+	if info != nil {
+		status = info.Status
+	}
+	pending := len(e.predurable)
+	e.mu.Unlock()
+	if status != txn.Committed {
+		t.Fatalf("pre-durable ELR committer status = %v, want Committed", status)
+	}
+	if pending != 1 {
+		t.Fatalf("predurable entries = %d, want 1", pending)
+	}
+	store.disarm()
+	close(store.gate)
+	if err := <-c1; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -56,6 +56,14 @@ var (
 	// aborts need no durability, recovery re-aborts them idempotently —
 	// and Crash+Recover clears the state once the device is healthy.
 	ErrDegraded = errors.New("core: engine degraded to read-only (persistent log device error)")
+	// ErrCommitAborted is returned by Commit when an early-lock-release
+	// commit could not be made durable: the transaction's locks were
+	// already released at commit-record append, so — unlike the default
+	// path, where a failed force returns the transaction to Active — it
+	// cannot keep living under strict two-phase locking.  It has been
+	// rolled back, together with (cascading) every transaction that
+	// violated its early-released locks.  Wraps the device error.
+	ErrCommitAborted = errors.New("core: commit aborted (early-released locks could not be made durable)")
 )
 
 // HealthState classifies engine availability; see (*Engine).Health.
@@ -145,10 +153,40 @@ type Options struct {
 	// records via FollowerApply.  Mutating operations are rejected with
 	// ErrFollower until Promote runs the backward pass.
 	Follower bool
+	// EarlyLockRelease enables controlled lock violation in the commit
+	// path: Commit appends the commit record, releases the transaction's
+	// locks immediately — marking write (X/Increment) locks violable —
+	// and defers only the durability ack to the group flusher, so lock
+	// hold time no longer includes the device sync.  A transaction that
+	// then acquires a conflicting lock on a marked object has violated
+	// the pre-durable committer's lock: it forms an abort dependency on
+	// it, and a delegation of such data carries the edge to the
+	// delegatee.  Requires group commit (ignored with GroupCommitOff).
+	//
+	// Crash contract.  Nothing weakens: the commit ack still implies
+	// durability.  A violator's own commit record necessarily follows
+	// its predecessor's in the log, and flushes are prefix-ordered, so a
+	// dependent can never be acknowledged — or survive recovery — unless
+	// every predecessor's commit is durable too.  What changes is the
+	// failure mode before the ack: if the flush fails (device error) the
+	// committer cannot return to Active, because its locks are gone;
+	// Commit instead rolls the transaction back — undoing it and every
+	// dependent in one combined reverse-LSN sweep — and returns
+	// ErrCommitAborted.  A crash in the window between lock release and
+	// flush completion needs no special handling at all: recovery judges
+	// every transaction purely from the durable log, and prefix flushing
+	// guarantees no dependent's commit record survives a predecessor's
+	// lost one.
+	EarlyLockRelease bool
 }
 
 // groupCommit reports whether commits use the coalesced flush path.
 func (o Options) groupCommit() bool { return o.GroupCommit != GroupCommitOff }
+
+// elr reports whether commits use early lock release (controlled lock
+// violation); it rides on the group-commit flusher, so GroupCommitOff
+// disables it.
+func (o Options) elr() bool { return o.EarlyLockRelease && o.groupCommit() }
 
 // Stats counts engine activity.
 type Stats struct {
@@ -188,6 +226,11 @@ type Engine struct {
 	state delegation.State
 	// deps holds the ASSET form-dependency graph (volatile).
 	deps map[wal.TxID][]depEdge
+	// predurable maps each early-lock-release committer whose commit
+	// record is appended but not yet durable to its pending-commit
+	// bookkeeping.  Entries leave via durableNotify (record reached the
+	// device), elrFlushFailureLocked (flush failed; rollback), or Crash.
+	predurable map[wal.TxID]pendingCommit
 
 	master  *masterRecord
 	crashed bool
@@ -237,16 +280,17 @@ func New(opts Options) (*Engine, error) {
 	}
 	reg := obs.NewRegistry()
 	e := &Engine{
-		log:    log,
-		disk:   opts.Disk,
-		locks:  lock.NewManager(),
-		txns:   txn.NewTable(),
-		state:  delegation.State{},
-		deps:   make(map[wal.TxID][]depEdge),
-		master: &masterRecord{store: opts.MasterStore},
-		opts:   opts,
-		reg:    reg,
-		met:    bindEngineMetrics(reg),
+		log:        log,
+		disk:       opts.Disk,
+		locks:      lock.NewManager(),
+		txns:       txn.NewTable(),
+		state:      delegation.State{},
+		deps:       make(map[wal.TxID][]depEdge),
+		predurable: make(map[wal.TxID]pendingCommit),
+		master:     &masterRecord{store: opts.MasterStore},
+		opts:       opts,
+		reg:        reg,
+		met:        bindEngineMetrics(reg),
 	}
 	e.log.Instrument(reg)
 	e.locks.Instrument(reg)
@@ -484,6 +528,11 @@ func (e *Engine) Crash() error {
 	e.txns.Reset(1)
 	e.state = delegation.State{}
 	e.deps = make(map[wal.TxID][]depEdge)
+	// Pending early-lock-release commits die with the volatile state;
+	// their wal.OnDurable callbacks fire with an error and validate
+	// against this (now empty) map, so a post-recovery reuse of the same
+	// TxID/LSN pair can never be touched by a stale delivery.
+	e.predurable = make(map[wal.TxID]pendingCommit)
 	e.crashed = true
 	// A crash clears degraded mode: the restart is the repair action —
 	// if the device is still broken, Recover's final flush fails and the

@@ -35,8 +35,19 @@ type engineMetrics struct {
 	replApplied  *obs.Counter
 	replReplayed *obs.Gauge
 
+	// Early-lock-release accounting: commits that released their locks
+	// pre-durably, violations admitted (dependency edges formed on a
+	// pre-durable committer), ELR commits rolled back by a failed flush,
+	// and the transactions those rollbacks cascaded into.
+	elrCommits, elrViolations, elrFailedCommits, elrCascadeAborts *obs.Counter
+
 	// Per-operation end-to-end latency (lock waits included).
 	updateNs, delegateNs, commitNs, abortNs *obs.Histogram
+
+	// elrAckDeferNs is the span an ELR committer spends between releasing
+	// its locks (commit-record append) and receiving the durability ack —
+	// the time the violation window is open.
+	elrAckDeferNs *obs.Histogram
 
 	// Per-phase recovery durations.
 	recForwardNs, recBackwardNs, recTotalNs *obs.Histogram
@@ -66,6 +77,11 @@ func bindEngineMetrics(r *obs.Registry) engineMetrics {
 		degraded:          r.Gauge("core.degraded"),
 		replApplied:       r.Counter("repl.applied_records"),
 		replReplayed:      r.Gauge("repl.replayed_lsn"),
+		elrCommits:        r.Counter("elr.commits"),
+		elrViolations:     r.Counter("elr.violations"),
+		elrFailedCommits:  r.Counter("elr.failed_commits"),
+		elrCascadeAborts:  r.Counter("elr.cascade_aborts"),
+		elrAckDeferNs:     r.Histogram("elr.ack_defer_ns"),
 		updateNs:          r.Histogram("core.update_ns"),
 		delegateNs:        r.Histogram("core.delegate_ns"),
 		commitNs:          r.Histogram("core.commit_ns"),

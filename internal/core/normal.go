@@ -40,6 +40,22 @@ func (e *Engine) activeInfo(tx wal.TxID) (*txn.Info, error) {
 	return info, nil
 }
 
+// activeAfterLockLocked revalidates tx after an unlatched lock wait.  A
+// transaction can terminate while one of its operations is blocked in
+// lock.Acquire — a cascading abort, or a deadlock victimization on
+// another of its own goroutines — and the grant then re-registers a lock
+// hold for a dead transaction.  That stale grant must be dropped here,
+// or the object stays blocked forever.  The caller holds the engine
+// latch, having re-acquired it after the lock grant.
+func (e *Engine) activeAfterLockLocked(tx wal.TxID) (*txn.Info, error) {
+	info, err := e.activeInfo(tx)
+	if err != nil {
+		e.locks.ReleaseAll(tx)
+		return nil, err
+	}
+	return info, nil
+}
+
 // Read returns the value of obj under a shared lock held by tx.  Absent
 // objects read as an empty value (objects are registers; see
 // internal/object).
@@ -68,10 +84,10 @@ func (e *Engine) Read(tx wal.TxID, obj wal.ObjectID) ([]byte, error) {
 	if e.crashed {
 		return nil, ErrCrashed
 	}
-	if _, err := e.activeInfo(tx); err != nil {
-		e.locks.ReleaseAll(tx) // see Update: stale grant for a dead tx
+	if _, err := e.activeAfterLockLocked(tx); err != nil {
 		return nil, err
 	}
+	e.noteViolationsLocked(tx, obj, lock.Shared)
 	v, _, err := e.store.Read(obj)
 	if err != nil {
 		return nil, err
@@ -117,14 +133,11 @@ func (e *Engine) Update(tx wal.TxID, obj wal.ObjectID, val []byte) error {
 		// able to abort (which releases everything).
 		return err
 	}
-	info, err := e.activeInfo(tx)
+	info, err := e.activeAfterLockLocked(tx)
 	if err != nil {
-		// tx terminated (e.g. a cascading abort) between the lock
-		// grant and this latch: the grant re-registered a hold for a
-		// dead transaction; drop it or the object stays blocked.
-		e.locks.ReleaseAll(tx)
 		return err
 	}
+	e.noteViolationsLocked(tx, obj, lock.Exclusive)
 	before, _, err := e.store.Read(obj)
 	if err != nil {
 		return err
@@ -217,6 +230,24 @@ func (e *Engine) delegateLocked(tor, tee wal.TxID, obj wal.ObjectID) error {
 	if _, held := e.locks.Holds(tor, obj); held {
 		if err := e.locks.Share(tor, tee, obj); err != nil {
 			return err
+		}
+	}
+	// A delegated scope carries its recoverability lineage: if the
+	// delegator's updates were built over a pre-durable committer's
+	// early-released locks (it holds an abort dependency on one), the
+	// delegatee now owns those updates and must share their fate — the
+	// delegator's own abort no longer undoes them.  Copying all such
+	// edges (not just ones attributable to obj) is conservative: it can
+	// only over-abort, never let dirty data survive.
+	if len(e.predurable) > 0 {
+		for _, edge := range e.deps[tor] {
+			if edge.kind != AbortDependency {
+				continue
+			}
+			if _, pending := e.predurable[edge.on]; !pending {
+				continue
+			}
+			e.addDependencyEdgeLocked(tee, edge.on, AbortDependency)
 		}
 	}
 	// The delegate record heads both backward chains.
@@ -339,6 +370,12 @@ func (e *Engine) Commit(tx wal.TxID) error {
 		info.Status = txn.Committed
 		info.LastLSN = lsn
 		return e.finishCommitLocked(tx, info, lsn, start)
+	}
+
+	if e.opts.elr() {
+		// Early lock release: release the locks at the commit point and
+		// defer only the durability ack.  See internal/core/elr.go.
+		return e.commitELR(tx, info, lsn, prevLast, start)
 	}
 
 	// Group commit.  The appended commit record is the commit point: mark

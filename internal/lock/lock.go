@@ -76,6 +76,18 @@ type lockState struct {
 	// holders maps each holding transaction to its granted mode.
 	holders map[wal.TxID]Mode
 	queue   []request
+	// violable maps each transaction that released a write lock (X or I)
+	// on this object pre-durably — via ReleaseAllViolable, the early-
+	// lock-release commit path — to the mode it held.  A later acquirer
+	// whose mode conflicts with a recorded mode has "violated" that
+	// lock in the controlled-lock-violation sense: it may observe data
+	// whose commit record is not yet on stable storage, and the engine
+	// forms a commit dependency on the releaser.  Entries are cleared by
+	// ClearViolable once the releaser's commit record is durable (or its
+	// commit failed and was rolled back).  Shared releases are never
+	// recorded: a pre-durable reader leaves no dirty data behind, so
+	// overwriting what it read creates no recoverability obligation.
+	violable map[wal.TxID]Mode
 }
 
 // Manager is the lock manager.  All methods are safe for concurrent use;
@@ -87,9 +99,15 @@ type Manager struct {
 	locks map[wal.ObjectID]*lockState
 	// held tracks, per transaction, the objects it holds locks on.
 	held map[wal.TxID]map[wal.ObjectID]struct{}
+	// heldSince records when each transaction acquired its first lock;
+	// ReleaseAll observes the span as the transaction's lock-hold time.
+	heldSince map[wal.TxID]time.Time
 	// waitsFor maps a blocked transaction to the transactions it waits on.
 	waitsFor map[wal.TxID]map[wal.TxID]struct{}
-	met      lockMetrics
+	// violableBy indexes, per pre-durable releaser, the objects carrying
+	// its violable markers, so ClearViolable is O(objects released).
+	violableBy map[wal.TxID]map[wal.ObjectID]struct{}
+	met        lockMetrics
 }
 
 // lockMetrics holds the manager's pre-resolved metric handles.  A fresh
@@ -97,17 +115,34 @@ type Manager struct {
 // owning engine rebinds them to its own registry via Instrument.
 type lockMetrics struct {
 	acquires, waits, deadlocks, shares, transfers *obs.Counter
-	waitNs                                        *obs.Histogram
+	// Per-mode acquire counts (satellite contention observability: the
+	// S/X/I mix tells whether a hot object is read- or write-contended).
+	acquiresShared, acquiresExclusive, acquiresIncrement *obs.Counter
+	// violableMarks counts objects marked by pre-durable releases;
+	// violations counts conflicting acquisitions over a live marker.
+	violableMarks, violations *obs.Counter
+	// waiters is the number of transactions currently blocked in Acquire.
+	waiters *obs.Gauge
+	// waitNs observes time spent blocked per Acquire that waited; holdNs
+	// observes, per transaction, first-acquire-to-release lock-hold time.
+	waitNs, holdNs *obs.Histogram
 }
 
 func bindLockMetrics(r *obs.Registry) lockMetrics {
 	return lockMetrics{
-		acquires:  r.Counter("lock.acquires"),
-		waits:     r.Counter("lock.waits"),
-		deadlocks: r.Counter("lock.deadlocks"),
-		shares:    r.Counter("lock.shares"),
-		transfers: r.Counter("lock.transfers"),
-		waitNs:    r.Histogram("lock.wait_ns"),
+		acquires:          r.Counter("lock.acquires"),
+		waits:             r.Counter("lock.waits"),
+		deadlocks:         r.Counter("lock.deadlocks"),
+		shares:            r.Counter("lock.shares"),
+		transfers:         r.Counter("lock.transfers"),
+		acquiresShared:    r.Counter("lock.acquires.shared"),
+		acquiresExclusive: r.Counter("lock.acquires.exclusive"),
+		acquiresIncrement: r.Counter("lock.acquires.increment"),
+		violableMarks:     r.Counter("lock.violable_marks"),
+		violations:        r.Counter("lock.violations"),
+		waiters:           r.Gauge("lock.waiters"),
+		waitNs:            r.Histogram("lock.wait_ns"),
+		holdNs:            r.Histogram("lock.hold_ns"),
 	}
 }
 
@@ -122,10 +157,12 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 // NewManager returns an empty lock manager.
 func NewManager() *Manager {
 	m := &Manager{
-		locks:    make(map[wal.ObjectID]*lockState),
-		held:     make(map[wal.TxID]map[wal.ObjectID]struct{}),
-		waitsFor: make(map[wal.TxID]map[wal.TxID]struct{}),
-		met:      bindLockMetrics(obs.NewRegistry()),
+		locks:      make(map[wal.ObjectID]*lockState),
+		held:       make(map[wal.TxID]map[wal.ObjectID]struct{}),
+		heldSince:  make(map[wal.TxID]time.Time),
+		waitsFor:   make(map[wal.TxID]map[wal.TxID]struct{}),
+		violableBy: make(map[wal.TxID]map[wal.ObjectID]struct{}),
+		met:        bindLockMetrics(obs.NewRegistry()),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	return m
@@ -150,6 +187,14 @@ func (m *Manager) Acquire(tx wal.TxID, obj wal.ObjectID, mode Mode) error {
 	defer m.mu.Unlock()
 	ls := m.state(obj)
 	m.met.acquires.Inc()
+	switch mode {
+	case Exclusive:
+		m.met.acquiresExclusive.Inc()
+	case Increment:
+		m.met.acquiresIncrement.Inc()
+	default:
+		m.met.acquiresShared.Inc()
+	}
 	if hm, ok := ls.holders[tx]; ok && (hm == Exclusive || hm == mode) {
 		return nil // already covered
 	}
@@ -159,12 +204,14 @@ func (m *Manager) Acquire(tx wal.TxID, obj wal.ObjectID, mode Mode) error {
 		if waitStart.IsZero() {
 			waitStart = time.Now()
 			m.met.waits.Inc()
+			m.met.waiters.Add(1)
 		}
 		m.recordWaitsLocked(ls, tx, mode)
 		if m.hasCycleLocked(tx) {
 			m.removeRequestLocked(ls, tx, mode)
 			delete(m.waitsFor, tx)
 			m.met.deadlocks.Inc()
+			m.met.waiters.Add(-1)
 			m.met.waitNs.Observe(time.Since(waitStart))
 			m.cond.Broadcast()
 			return fmt.Errorf("%w: transaction %d victimized on object %d", ErrDeadlock, tx, obj)
@@ -172,6 +219,7 @@ func (m *Manager) Acquire(tx wal.TxID, obj wal.ObjectID, mode Mode) error {
 		m.cond.Wait()
 	}
 	if !waitStart.IsZero() {
+		m.met.waiters.Add(-1)
 		m.met.waitNs.Observe(time.Since(waitStart))
 	}
 	delete(m.waitsFor, tx)
@@ -183,6 +231,7 @@ func (m *Manager) Acquire(tx wal.TxID, obj wal.ObjectID, mode Mode) error {
 	}
 	if m.held[tx] == nil {
 		m.held[tx] = make(map[wal.ObjectID]struct{})
+		m.heldSince[tx] = time.Now()
 	}
 	m.held[tx][obj] = struct{}{}
 	m.cond.Broadcast()
@@ -304,6 +353,7 @@ func (m *Manager) Share(from, to wal.TxID, obj wal.ObjectID) error {
 	}
 	if m.held[to] == nil {
 		m.held[to] = make(map[wal.ObjectID]struct{})
+		m.heldSince[to] = time.Now()
 	}
 	m.held[to][obj] = struct{}{}
 	m.cond.Broadcast()
@@ -333,6 +383,7 @@ func (m *Manager) Transfer(from, to wal.TxID, obj wal.ObjectID) error {
 	}
 	if m.held[to] == nil {
 		m.held[to] = make(map[wal.ObjectID]struct{})
+		m.heldSince[to] = time.Now()
 	}
 	m.held[to][obj] = struct{}{}
 	m.cond.Broadcast()
@@ -344,17 +395,104 @@ func (m *Manager) Transfer(from, to wal.TxID, obj wal.ObjectID) error {
 func (m *Manager) ReleaseAll(tx wal.TxID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.releaseAllLocked(tx, false)
+}
+
+// ReleaseAllViolable drops every lock held by tx exactly like ReleaseAll,
+// but additionally marks each object tx held in a write mode (Exclusive
+// or Increment) as carrying tx's violable lock: tx's commit record is
+// appended but not yet durable, and a later conflicting acquirer must
+// form a commit dependency on tx (see Violators).  This is the lock-
+// manager half of early lock release / controlled lock violation; the
+// engine clears the markers with ClearViolable once tx's commit record
+// reaches stable storage or its commit fails and is rolled back.
+func (m *Manager) ReleaseAllViolable(tx wal.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseAllLocked(tx, true)
+}
+
+func (m *Manager) releaseAllLocked(tx wal.TxID, violable bool) {
 	for obj := range m.held[tx] {
-		if ls, ok := m.locks[obj]; ok {
-			delete(ls.holders, tx)
-			if len(ls.holders) == 0 && len(ls.queue) == 0 {
-				delete(m.locks, obj)
-			}
+		ls, ok := m.locks[obj]
+		if !ok {
+			continue
 		}
+		mode := ls.holders[tx]
+		delete(ls.holders, tx)
+		if violable && mode != Shared {
+			if ls.violable == nil {
+				ls.violable = make(map[wal.TxID]Mode)
+			}
+			ls.violable[tx] = mode
+			if m.violableBy[tx] == nil {
+				m.violableBy[tx] = make(map[wal.ObjectID]struct{})
+			}
+			m.violableBy[tx][obj] = struct{}{}
+			m.met.violableMarks.Inc()
+		}
+		m.dropStateIfEmptyLocked(obj, ls)
 	}
+	if since, ok := m.heldSince[tx]; ok {
+		m.met.holdNs.Observe(time.Since(since))
+	}
+	delete(m.heldSince, tx)
 	delete(m.held, tx)
 	delete(m.waitsFor, tx)
 	m.cond.Broadcast()
+}
+
+// dropStateIfEmptyLocked garbage-collects an object's lock state once
+// nothing references it: no holders, no queued requests, no violable
+// markers awaiting their releaser's durability.
+func (m *Manager) dropStateIfEmptyLocked(obj wal.ObjectID, ls *lockState) {
+	if len(ls.holders) == 0 && len(ls.queue) == 0 && len(ls.violable) == 0 {
+		delete(m.locks, obj)
+	}
+}
+
+// ClearViolable removes every violable marker left by tx's early lock
+// release: its commit record became durable (the markers impose no
+// constraint any more) or its commit failed and the rollback's cascade
+// already settled the dependents.
+func (m *Manager) ClearViolable(tx wal.TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for obj := range m.violableBy[tx] {
+		if ls, ok := m.locks[obj]; ok {
+			delete(ls.violable, tx)
+			m.dropStateIfEmptyLocked(obj, ls)
+		}
+	}
+	delete(m.violableBy, tx)
+}
+
+// Violators returns the transactions whose early-released (violable)
+// lock on obj conflicts with an acquisition in mode by tx — the
+// pre-durable committers tx has violated and must form commit
+// dependencies on.  A compatible acquisition (Increment over a released
+// Increment) is not a violation: it could have been granted while the
+// releaser still held its lock.  The caller is expected to filter the
+// result against its own pre-durable set: a marker may outlive its
+// releaser's durability by the breadth of a callback race.
+func (m *Manager) Violators(tx wal.TxID, obj wal.ObjectID, mode Mode) []wal.TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls, ok := m.locks[obj]
+	if !ok || len(ls.violable) == 0 {
+		return nil
+	}
+	var out []wal.TxID
+	for releaser, rm := range ls.violable {
+		if releaser == tx || compatibleModes(rm, mode) {
+			continue
+		}
+		out = append(out, releaser)
+	}
+	if len(out) > 0 {
+		m.met.violations.Add(uint64(len(out)))
+	}
+	return out
 }
 
 // Holds reports the mode tx holds on obj, if any.
@@ -375,6 +513,8 @@ func (m *Manager) Reset() {
 	defer m.mu.Unlock()
 	m.locks = make(map[wal.ObjectID]*lockState)
 	m.held = make(map[wal.TxID]map[wal.ObjectID]struct{})
+	m.heldSince = make(map[wal.TxID]time.Time)
 	m.waitsFor = make(map[wal.TxID]map[wal.TxID]struct{})
+	m.violableBy = make(map[wal.TxID]map[wal.ObjectID]struct{})
 	m.cond.Broadcast()
 }

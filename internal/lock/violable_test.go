@@ -1,0 +1,173 @@
+package lock
+
+import (
+	"testing"
+	"time"
+)
+
+// TestViolableMarksAndViolators: an early release marks write locks
+// violable; conflicting acquirers see the releaser, compatible ones and
+// the releaser itself do not.
+func TestViolableMarksAndViolators(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, 11, Increment); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, 12, Shared); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAllViolable(1)
+
+	// Locks are gone: a conflicting acquire must not block.
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, 10, Exclusive) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("acquire blocked on an early-released lock")
+	}
+
+	if v := m.Violators(2, 10, Exclusive); len(v) != 1 || v[0] != 1 {
+		t.Fatalf("X over released X: violators = %v, want [1]", v)
+	}
+	if v := m.Violators(2, 11, Increment); len(v) != 0 {
+		t.Fatalf("I over released I is compatible, got violators %v", v)
+	}
+	if v := m.Violators(2, 11, Exclusive); len(v) != 1 || v[0] != 1 {
+		t.Fatalf("X over released I: violators = %v, want [1]", v)
+	}
+	// Shared releases are never marked: no dirty data left behind.
+	if v := m.Violators(2, 12, Exclusive); len(v) != 0 {
+		t.Fatalf("released S lock must not be violable, got %v", v)
+	}
+	// The releaser is never its own violator.
+	if v := m.Violators(1, 10, Exclusive); len(v) != 0 {
+		t.Fatalf("self-violation reported: %v", v)
+	}
+}
+
+// TestClearViolable: markers disappear once the releaser's durability is
+// settled, and the lock state is garbage-collected.
+func TestClearViolable(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAllViolable(1)
+	if v := m.Violators(2, 10, Exclusive); len(v) != 1 {
+		t.Fatalf("marker missing before clear: %v", v)
+	}
+	m.ClearViolable(1)
+	if v := m.Violators(2, 10, Exclusive); len(v) != 0 {
+		t.Fatalf("marker survived clear: %v", v)
+	}
+	m.mu.Lock()
+	_, exists := m.locks[10]
+	m.mu.Unlock()
+	if exists {
+		t.Fatal("empty lock state not garbage-collected after clear")
+	}
+}
+
+// TestViolableStateSurvivesRelease: the lockState must not be
+// garbage-collected while a violable marker is live, even with no
+// holders and no queue.
+func TestViolableStateSurvivesRelease(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAllViolable(1)
+	// A full acquire/release cycle by another transaction must not drop
+	// the marker.
+	if err := m.Acquire(2, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if v := m.Violators(3, 10, Exclusive); len(v) != 1 || v[0] != 1 {
+		t.Fatalf("marker lost to state GC: violators = %v, want [1]", v)
+	}
+}
+
+// TestPlainReleaseLeavesNoMarkers: ReleaseAll (commit with durability in
+// hand, or abort) must not mark anything violable.
+func TestPlainReleaseLeavesNoMarkers(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	if v := m.Violators(2, 10, Exclusive); len(v) != 0 {
+		t.Fatalf("plain release left violable markers: %v", v)
+	}
+}
+
+// TestViolableMetrics: marks and violations are counted; per-mode
+// acquires, waiters gauge and hold-time histogram are wired.
+func TestViolableMetrics(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, 11, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, 12, Increment); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAllViolable(1)
+	m.Violators(2, 10, Exclusive)
+
+	if got := m.met.acquiresExclusive.Load(); got != 1 {
+		t.Fatalf("acquiresExclusive = %d, want 1", got)
+	}
+	if got := m.met.acquiresShared.Load(); got != 1 {
+		t.Fatalf("acquiresShared = %d, want 1", got)
+	}
+	if got := m.met.acquiresIncrement.Load(); got != 1 {
+		t.Fatalf("acquiresIncrement = %d, want 1", got)
+	}
+	if got := m.met.violableMarks.Load(); got != 2 { // X and I, not S
+		t.Fatalf("violableMarks = %d, want 2", got)
+	}
+	if got := m.met.violations.Load(); got != 1 {
+		t.Fatalf("violations = %d, want 1", got)
+	}
+	if got := m.met.holdNs.Snapshot().Count; got != 1 {
+		t.Fatalf("holdNs count = %d, want 1", got)
+	}
+}
+
+// TestWaitersGauge: the gauge rises while a transaction is blocked and
+// falls when it is granted.
+func TestWaitersGauge(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, 10, Exclusive) }()
+	deadline := time.Now().Add(time.Second)
+	for m.met.waiters.Load() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiters gauge never rose")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := m.met.waiters.Load(); got != 0 {
+		t.Fatalf("waiters gauge = %d after grant, want 0", got)
+	}
+	if got := m.met.waitNs.Snapshot().Count; got != 1 {
+		t.Fatalf("waitNs count = %d, want 1", got)
+	}
+}

@@ -136,6 +136,10 @@ type Log struct {
 	flushIdle     *sync.Cond
 	flushScratch  []byte
 
+	// durableCBs holds OnDurable registrations not yet covered by the
+	// durable horizon; each fires exactly once (see OnDurable).
+	durableCBs []durableCB
+
 	// Flush retry policy: a failed device write+Sync is retried up to
 	// retryMax times with exponential backoff starting at retryBackoff,
 	// unless the error is marked ErrNoRetry.  See SetFlushRetryPolicy.
@@ -205,6 +209,14 @@ func (l *Log) Instrument(reg *obs.Registry) {
 type flushWaiter struct {
 	upTo LSN
 	ch   chan error
+}
+
+// durableCB is one OnDurable registration: fn is invoked, on its own
+// goroutine, once every record with LSN ≤ upTo is durable — or with the
+// error that stopped the durable horizon short of upTo.
+type durableCB struct {
+	upTo LSN
+	fn   func(error)
 }
 
 // NewLog creates a log on top of store, recovering any records already
@@ -412,6 +424,59 @@ func (l *Log) FlushedLSN() LSN {
 	return l.flushedLSN
 }
 
+// OnDurable registers fn to be invoked exactly once: with nil after
+// every record with LSN ≤ upTo reaches stable storage, or with a non-nil
+// error when this log instance stops advancing toward it (a failed flush
+// round, or a crash that discards the volatile tail).  fn runs on its
+// own goroutine, so it may take arbitrary locks and re-enter the log.
+// An error delivery does not by itself say whether the records survived
+// — only that no completion will follow; the registrant must re-validate
+// against durable state (FlushedLSN, or post-recovery analysis).
+//
+// This is the commit-pipelining hook for early lock release: the engine
+// registers the post-durability work of a commit (clearing violable lock
+// markers, accounting the ack) here instead of holding the committer on
+// the device sync.
+func (l *Log) OnDurable(upTo LSN, fn func(error)) {
+	l.mu.Lock()
+	if upTo <= l.flushedLSN {
+		l.mu.Unlock()
+		go fn(nil)
+		return
+	}
+	l.durableCBs = append(l.durableCBs, durableCB{upTo: upTo, fn: fn})
+	l.mu.Unlock()
+}
+
+// runDurableCBsLocked dispatches OnDurable callbacks after a flush
+// attempt: with nil for every registration the durable horizon now
+// covers, or — when the attempt failed — with err for all of them (a
+// registrant always has a matching flush in flight, so the failed round
+// is the one that was meant to cover it).  Callbacks run on fresh
+// goroutines; dispatching under l.mu is therefore deadlock-free even
+// when the callback re-enters the log or takes the engine latch.
+func (l *Log) runDurableCBsLocked(err error) {
+	if len(l.durableCBs) == 0 {
+		return
+	}
+	if err != nil {
+		for _, cb := range l.durableCBs {
+			go cb.fn(err)
+		}
+		l.durableCBs = nil
+		return
+	}
+	rest := l.durableCBs[:0]
+	for _, cb := range l.durableCBs {
+		if cb.upTo <= l.flushedLSN {
+			go cb.fn(nil)
+		} else {
+			rest = append(rest, cb)
+		}
+	}
+	l.durableCBs = rest
+}
+
 // Flush makes all records with LSN ≤ upTo durable.  Flushing past the head
 // flushes the whole log.  Transient device errors are retried per the
 // flush retry policy; an error return means the records are NOT durable
@@ -439,7 +504,9 @@ func (l *Log) Flush(upTo LSN) error {
 	if err != nil {
 		l.stats.FlushErrors++
 		l.met.flushErrors.Inc()
-		return fmt.Errorf("wal: flush: %w", err)
+		err = fmt.Errorf("wal: flush: %w", err)
+		l.runDurableCBsLocked(err)
+		return err
 	}
 	l.stats.Flushes++
 	l.stats.FlushedBytes += uint64(end - l.flushedBytes)
@@ -448,6 +515,7 @@ func (l *Log) Flush(upTo LSN) error {
 	l.met.flushNs.Observe(time.Since(start))
 	l.flushedBytes = end
 	l.flushedLSN = upTo
+	l.runDurableCBsLocked(nil)
 	l.tailCond.Broadcast()
 	return nil
 }
@@ -513,6 +581,7 @@ func (l *Log) groupFlushLoop() {
 			err = l.flushRangeUnlatched(target)
 			head = l.base + LSN(len(l.offsets))
 		}
+		l.runDurableCBsLocked(err)
 		queued := len(l.flushQ)
 		rest := l.flushQ[:0]
 		for _, w := range l.flushQ {
@@ -720,6 +789,11 @@ func (l *Log) Crash() error {
 	// replication connections); replicas reattach after recovery with
 	// their LSN cursor.
 	l.closeAllSubsLocked(fmt.Errorf("%w: log crashed", ErrSubscriptionClosed))
+	// Pending durability callbacks can never complete: their records may
+	// be in the discarded tail, and even if durable, the instance they
+	// registered against is being torn down.  Deliver the failure; the
+	// registrant re-validates against post-recovery state.
+	l.runDurableCBsLocked(errors.New("wal: log crashed before durability"))
 	stats := l.stats
 	if err := l.loadFromStore(); err != nil {
 		return err

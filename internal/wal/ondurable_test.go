@@ -1,0 +1,171 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// failSyncStore fails Sync with a configurable error.
+type failSyncStore struct {
+	*MemStore
+	mu  sync.Mutex
+	err error
+}
+
+func (s *failSyncStore) FailSyncsWith(err error) {
+	s.mu.Lock()
+	s.err = err
+	s.mu.Unlock()
+}
+
+func (s *failSyncStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.MemStore.Sync()
+}
+
+func appendN(t *testing.T, l *Log, n int) LSN {
+	t.Helper()
+	var last LSN
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(&Record{Type: TypeUpdate, TxID: 1, Object: 1, After: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = lsn
+	}
+	return last
+}
+
+func waitCB(t *testing.T, ch <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-ch:
+		return err
+	case <-time.After(2 * time.Second):
+		t.Fatal("OnDurable callback never fired")
+		return nil
+	}
+}
+
+// TestOnDurableAlreadyFlushed: a registration at or below the durable
+// horizon fires immediately with nil.
+func TestOnDurableAlreadyFlushed(t *testing.T) {
+	l, err := NewLog(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn := appendN(t, l, 3)
+	if err := l.Flush(lsn); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	l.OnDurable(lsn, func(err error) { got <- err })
+	if err := waitCB(t, got); err != nil {
+		t.Fatalf("callback error = %v, want nil", err)
+	}
+}
+
+// TestOnDurableFiresOnSyncFlush: a pending registration fires once a
+// synchronous Flush covers it, and registrations above the flushed range
+// stay pending.
+func TestOnDurableFiresOnSyncFlush(t *testing.T) {
+	l, err := NewLog(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := appendN(t, l, 5)
+	low, high := make(chan error, 1), make(chan error, 1)
+	l.OnDurable(2, func(err error) { low <- err })
+	l.OnDurable(last, func(err error) { high <- err })
+	if err := l.Flush(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitCB(t, low); err != nil {
+		t.Fatalf("low callback error = %v, want nil", err)
+	}
+	select {
+	case err := <-high:
+		t.Fatalf("high callback fired early (err=%v) at flushed=%d", err, l.FlushedLSN())
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := l.Flush(last); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitCB(t, high); err != nil {
+		t.Fatalf("high callback error = %v, want nil", err)
+	}
+}
+
+// TestOnDurableFiresOnGroupFlush: registrations are served by the group
+// flush leader alongside FlushAsync waiters.
+func TestOnDurableFiresOnGroupFlush(t *testing.T) {
+	l, err := NewLog(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := appendN(t, l, 4)
+	got := make(chan error, 1)
+	l.OnDurable(last, func(err error) { got <- err })
+	if ferr := <-l.FlushAsync(last); ferr != nil {
+		t.Fatal(ferr)
+	}
+	if err := waitCB(t, got); err != nil {
+		t.Fatalf("callback error = %v, want nil", err)
+	}
+}
+
+// TestOnDurableErrorOnFailedFlush: a failed flush round delivers its
+// error to pending registrations exactly once.
+func TestOnDurableErrorOnFailedFlush(t *testing.T) {
+	store := &failSyncStore{MemStore: NewMemStore()}
+	l, err := NewLog(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetFlushRetryPolicy(0, 0)
+	last := appendN(t, l, 2)
+	injected := errors.New("device gone")
+	store.FailSyncsWith(injected)
+	got := make(chan error, 2)
+	l.OnDurable(last, func(err error) { got <- err })
+	if ferr := <-l.FlushAsync(last); ferr == nil {
+		t.Fatal("FlushAsync succeeded through a failing device")
+	}
+	if err := waitCB(t, got); !errors.Is(err, injected) {
+		t.Fatalf("callback error = %v, want wrapped %v", err, injected)
+	}
+	// Exactly once: a later successful flush must not re-fire it.
+	store.FailSyncsWith(nil)
+	if err := l.Flush(last); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		t.Fatalf("callback fired twice (second err=%v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// TestOnDurableErrorOnCrash: Crash delivers an error to every pending
+// registration — the instance they registered against is gone.
+func TestOnDurableErrorOnCrash(t *testing.T) {
+	l, err := NewLog(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := appendN(t, l, 2)
+	got := make(chan error, 1)
+	l.OnDurable(last, func(err error) { got <- err })
+	if err := l.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := waitCB(t, got); err == nil {
+		t.Fatal("callback delivered nil across a crash that lost the records")
+	}
+}
