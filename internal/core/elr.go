@@ -72,10 +72,29 @@ func (e *Engine) commitELR(tx wal.TxID, info *txn.Info, lsn, prevLast wal.LSN, s
 		return ErrCrashed
 	}
 	if ferr != nil {
-		// The device refused the flush past the WAL's retry budget.  The
-		// locks are gone, so the transaction cannot return to Active the
-		// way the default path's failure handling does — strict 2PL no
-		// longer isolates its updates.  Roll back every pre-durable
+		// The device refused the flush past the WAL's retry budget.  But
+		// under group commit a failed round is not the last word: other
+		// queued FlushAsync waiters trigger later rounds, and one of
+		// those may have carried our record to the device before we
+		// reacquired the latch.  If so, the commit IS durable — its
+		// updates are visible and must stay — so finish it and report
+		// success; returning ErrCommitAborted here would break the
+		// "rolled back" contract and leak the txn as Committed forever.
+		// The entry still being present with lsn above the horizon is
+		// the only genuinely failed shape: the success delivery is the
+		// sole path that removes it while leaving the status Committed,
+		// and elrFlushFailureLocked (run by a sibling waiter of the same
+		// round) consumes it only after demoting the victim.
+		if info = e.txns.Get(tx); info != nil && info.Status == txn.Committed {
+			if _, pending := e.predurable[tx]; !pending || lsn <= e.log.FlushedLSN() {
+				delete(e.predurable, tx)
+				e.locks.ClearViolable(tx)
+				return e.finishCommitLocked(tx, info, lsn, start)
+			}
+		}
+		// The locks are gone, so the transaction cannot return to Active
+		// the way the default path's failure handling does — strict 2PL
+		// no longer isolates its updates.  Roll back every pre-durable
 		// committer stranded above the durable horizon, cascading
 		// through the dependencies the violation window admitted.
 		e.degradeLocked(ferr)
@@ -90,6 +109,17 @@ func (e *Engine) commitELR(tx wal.TxID, info *txn.Info, lsn, prevLast wal.LSN, s
 		// never finish a commit for a transaction the tables disown.
 		return fmt.Errorf("%w: %d", ErrNoSuchTxn, tx)
 	}
+	// Backstop the durability callback: the WAL drops ALL OnDurable
+	// registrations with an error on any failed flush attempt — including
+	// a direct Flush of a smaller prefix (e.g. a checkpoint) that never
+	// tried our LSN — and durableNotify ignores error deliveries.  If the
+	// record then became durable via a succeeding round, nothing else
+	// would ever remove the predurable entry or the violable markers, and
+	// later acquirers would keep forming abort edges on a long-durable
+	// committer.  Both calls are no-ops in the common case where the
+	// success delivery already cleaned up.
+	delete(e.predurable, tx)
+	e.locks.ClearViolable(tx)
 	return e.finishCommitLocked(tx, info, lsn, start)
 }
 
@@ -100,7 +130,9 @@ func (e *Engine) commitELR(tx wal.TxID, info *txn.Info, lsn, prevLast wal.LSN, s
 // acting: TxIDs and LSNs are both reused after a crash, so a stale or
 // failed delivery must never touch a reincarnated transaction's state.
 // Failure deliveries are ignored outright — the committer's own flush
-// wait (or Crash) settles those paths and owns the cleanup.
+// wait (or Crash) settles those paths, and commitELR clears the entry
+// and markers itself whenever it finds the commit durable, so a dropped
+// or failed delivery is never load-bearing.
 func (e *Engine) durableNotify(tx wal.TxID, lsn wal.LSN, err error) {
 	if err != nil {
 		return

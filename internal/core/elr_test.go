@@ -11,16 +11,22 @@ import (
 	"ariesrh/internal/wal"
 )
 
-// elrStore gates Sync for early-lock-release tests: each armed Sync
-// signals entered, blocks on the gate, and — if failOnRelease was set
-// while it was blocked — fails with a no-retry device error.
+// elrStore gates Sync for early-lock-release tests.  In gate mode (arm)
+// each armed Sync signals entered, blocks on the gate, and — if
+// failOnRelease was set while it was blocked — fails with a no-retry
+// device error.  In script mode (armScript) each armed Sync signals
+// entered and then consumes one directive from script: true fails that
+// one attempt, false lets it through — so consecutive device rounds can
+// deterministically fail then succeed.
 type elrStore struct {
 	wal.Store
 	mu            sync.Mutex
 	armed         bool
+	scripted      bool
 	failOnRelease bool
 	gate          chan struct{}
 	entered       chan struct{}
+	script        chan bool
 }
 
 func newELRStore() *elrStore {
@@ -28,6 +34,7 @@ func newELRStore() *elrStore {
 		Store:   wal.NewMemStore(),
 		gate:    make(chan struct{}),
 		entered: make(chan struct{}, 16),
+		script:  make(chan bool),
 	}
 }
 
@@ -35,14 +42,38 @@ func (s *elrStore) arm()     { s.mu.Lock(); s.armed = true; s.mu.Unlock() }
 func (s *elrStore) disarm()  { s.mu.Lock(); s.armed = false; s.mu.Unlock() }
 func (s *elrStore) failAll() { s.mu.Lock(); s.failOnRelease = true; s.mu.Unlock() }
 
+func (s *elrStore) armScript() {
+	s.mu.Lock()
+	s.armed = true
+	s.scripted = true
+	s.mu.Unlock()
+}
+
+// reset returns the store to passthrough: future Syncs hit the device
+// directly.  In-flight Syncs are unaffected (they already read the mode
+// on entry), so a directive consumed before the reset still applies.
+func (s *elrStore) reset() {
+	s.mu.Lock()
+	s.armed = false
+	s.scripted = false
+	s.failOnRelease = false
+	s.mu.Unlock()
+}
+
 func (s *elrStore) Sync() error {
 	s.mu.Lock()
-	armed := s.armed
+	armed, scripted := s.armed, s.scripted
 	s.mu.Unlock()
 	if !armed {
 		return s.Store.Sync()
 	}
 	s.entered <- struct{}{}
+	if scripted {
+		if <-s.script {
+			return fmt.Errorf("%w: injected sync failure", wal.ErrNoRetry)
+		}
+		return s.Store.Sync()
+	}
 	<-s.gate
 	s.mu.Lock()
 	fail := s.failOnRelease
@@ -215,6 +246,119 @@ func TestELRFlushFailureRollsBackAndCascades(t *testing.T) {
 	if got := m.Counter("elr.cascade_aborts"); got != 1 {
 		t.Fatalf("elr.cascade_aborts = %d, want 1", got)
 	}
+}
+
+// TestELRFailedRoundThenDurableCompletesCommit: the committer's own
+// group-flush round fails, but a later flush carries its commit record
+// to the device before the waiter reacquires the engine latch (under
+// group commit, rounds triggered by other queued waiters can do exactly
+// that).  The commit IS durable — its updates are visible and must stay
+// — so Commit must finish it and return nil, not ErrCommitAborted, and
+// must neither leak the transaction as Committed in the table nor
+// degrade the engine.
+func TestELRFailedRoundThenDurableCompletesCommit(t *testing.T) {
+	e, store := newELREngine(t)
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "v1")
+
+	store.armScript()
+	c1 := commitAsync(e, t1)
+	<-store.entered // t1's round is at the device, predurable entry live
+
+	// Hold the latch so the waiter cannot act on its failure delivery
+	// until the record is durable, fail the round, then land the record
+	// with a direct flush (standing in for the later group round).
+	e.mu.Lock()
+	lsn := e.predurable[t1].lsn
+	store.script <- true
+	store.reset()
+	if err := e.log.Flush(lsn); err != nil {
+		e.mu.Unlock()
+		t.Fatalf("rescue flush: %v", err)
+	}
+	e.mu.Unlock()
+
+	if err := <-c1; err != nil {
+		t.Fatalf("commit returned %v with a durable commit record, want nil", err)
+	}
+	wantValue(t, e, 1, "v1")
+	if h := e.Health(); h.State == StateDegraded {
+		t.Fatal("engine degraded although the commit became durable")
+	}
+	e.mu.Lock()
+	pending := len(e.predurable)
+	tracked := e.txns.Get(t1)
+	e.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("predurable entries = %d after a durable commit, want 0", pending)
+	}
+	if tracked != nil {
+		t.Fatal("durably committed transaction leaked in the txn table")
+	}
+	if got := e.Metrics().Counter("elr.failed_commits"); got != 0 {
+		t.Fatalf("elr.failed_commits = %d, want 0", got)
+	}
+	// The violable markers are gone too: a later acquirer of t1's object
+	// forms no edge on the long-durable committer.
+	t2 := mustBegin(t, e)
+	mustUpdate(t, e, t2, 1, "v2")
+	e.mu.Lock()
+	edges := len(e.deps[t2])
+	e.mu.Unlock()
+	if edges != 0 {
+		t.Fatalf("edge formed on a durably committed transaction (%d edges)", edges)
+	}
+	mustCommit(t, e, t2)
+	wantValue(t, e, 1, "v2")
+}
+
+// TestELRSuccessPathBackstopsLostDurableDelivery: the WAL drops ALL
+// OnDurable registrations with an error on any failed flush attempt —
+// including a direct Flush of a smaller prefix (a checkpoint, say) that
+// never tried the registrant's LSN — and durableNotify ignores error
+// deliveries.  If the record then becomes durable via a succeeding
+// round, the success path itself must clear the predurable entry and
+// the violable markers, or later acquirers keep forming abort edges on
+// a long-durable committer forever.  The lost delivery is simulated by
+// skewing the recorded LSN so the pending success callback validates
+// against the entry and no-ops, exactly as if it had been dropped.
+func TestELRSuccessPathBackstopsLostDurableDelivery(t *testing.T) {
+	e, store := newELREngine(t)
+	t1 := mustBegin(t, e)
+	mustUpdate(t, e, t1, 1, "v1")
+
+	store.arm()
+	c1 := commitAsync(e, t1)
+	<-store.entered // sync in flight, predurable entry live
+
+	e.mu.Lock()
+	pc := e.predurable[t1]
+	pc.lsn += 1 << 20 // durableNotify will see a mismatch and no-op
+	e.predurable[t1] = pc
+	e.mu.Unlock()
+
+	store.disarm()
+	close(store.gate)
+	if err := <-c1; err != nil {
+		t.Fatalf("t1 commit: %v", err)
+	}
+
+	e.mu.Lock()
+	pending := len(e.predurable)
+	e.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("predurable entries = %d after the ack, want 0", pending)
+	}
+	t2 := mustBegin(t, e)
+	mustUpdate(t, e, t2, 1, "v2")
+	e.mu.Lock()
+	edges := len(e.deps[t2])
+	e.mu.Unlock()
+	if edges != 0 {
+		t.Fatalf("spurious edge on a durably committed transaction (%d edges)", edges)
+	}
+	mustCommit(t, e, t2)
+	wantValue(t, e, 1, "v2")
 }
 
 // TestELRDelegationCarriesDependency: a violator that delegates the

@@ -168,11 +168,14 @@ type Options struct {
 	// its predecessor's in the log, and flushes are prefix-ordered, so a
 	// dependent can never be acknowledged — or survive recovery — unless
 	// every predecessor's commit is durable too.  What changes is the
-	// failure mode before the ack: if the flush fails (device error) the
-	// committer cannot return to Active, because its locks are gone;
-	// Commit instead rolls the transaction back — undoing it and every
-	// dependent in one combined reverse-LSN sweep — and returns
-	// ErrCommitAborted.  A crash in the window between lock release and
+	// failure mode before the ack: if the flush fails (device error) and
+	// the commit record is still above the durable horizon when the
+	// committer observes the failure, the committer cannot return to
+	// Active, because its locks are gone; Commit instead rolls the
+	// transaction back — undoing it and every dependent in one combined
+	// reverse-LSN sweep — and returns ErrCommitAborted.  (If a later
+	// group round made the record durable first, the commit completes
+	// normally and returns nil.)  A crash in the window between lock release and
 	// flush completion needs no special handling at all: recovery judges
 	// every transaction purely from the durable log, and prefix flushing
 	// guarantees no dependent's commit record survives a predecessor's
