@@ -8,10 +8,11 @@
 #   make bench-e8  regenerate BENCH_E8.json (quick sizes)
 #   make bench-e11 regenerate BENCH_E11.json (quick sizes)
 #   make bench-e12 regenerate BENCH_E12.json (quick sizes)
+#   make bench-e13 regenerate BENCH_E13.json (quick sizes)
 
 GO ?= go
 
-.PHONY: check ci vet staticcheck build test race fuzz-short torture standby-demo bench bench-e8 bench-e11 bench-e12
+.PHONY: check ci vet staticcheck build test race fuzz-short torture standby-demo bench bench-e8 bench-e11 bench-e12 bench-e13
 
 check: vet build test race
 
@@ -78,3 +79,6 @@ bench-e11:
 
 bench-e12:
 	$(GO) run ./cmd/rhbench -exp e12 -quick -json BENCH_E12.json
+
+bench-e13:
+	$(GO) run ./cmd/rhbench -exp e13 -quick -json BENCH_E13.json

@@ -107,12 +107,13 @@ type Options struct {
 	// GroupCommit selects commit-time log forcing; the zero value
 	// enables coalesced group commit.
 	GroupCommit GroupCommitMode
-	// FaultStore, when non-nil, is used as the write-ahead log's stable
-	// device in place of the default — typically a fault.Store (or any
-	// other wal.Store wrapper) injecting device faults, letting torture
-	// harnesses and tests drive crash schedules through the public API.
-	// Mutually exclusive with Dir, which opens its own log file.
-	FaultStore wal.Store
+	// FaultDir, when non-nil, is used as the write-ahead log's stable
+	// directory in place of the default — typically a fault.Dir (or any
+	// other wal.Dir implementation) injecting device faults, letting
+	// torture harnesses and tests drive crash schedules through the
+	// public API.  Mutually exclusive with Dir, which opens its own log
+	// directory.
+	FaultDir wal.Dir
 	// EarlyLockRelease enables controlled lock violation: Commit
 	// releases the transaction's locks at commit-record append and
 	// defers only the durability ack to the group flusher, trading lock
@@ -143,36 +144,36 @@ func Open(opts ...Options) (*DB, error) {
 		GroupCommit:      o.GroupCommit,
 		EarlyLockRelease: o.EarlyLockRelease,
 	}
-	if o.FaultStore != nil {
+	if o.FaultDir != nil {
 		if o.Dir != "" {
-			return nil, errors.New("ariesrh: Options.Dir and Options.FaultStore are mutually exclusive")
+			return nil, errors.New("ariesrh: Options.Dir and Options.FaultDir are mutually exclusive")
 		}
-		engineOpts.LogStore = o.FaultStore
+		engineOpts.LogDir = o.FaultDir
 	}
 	// cleanup releases file handles if engine construction fails; on
 	// success the engine owns them and DB.Close goes through the engine.
 	cleanup := func() {}
 	if o.Dir != "" {
-		logStore, err := wal.OpenFileStore(filepath.Join(o.Dir, "wal.log"))
+		logDir, err := wal.OpenFileDir(filepath.Join(o.Dir, "wal"))
 		if err != nil {
 			return nil, err
 		}
 		master, err := wal.OpenFileStore(filepath.Join(o.Dir, "master"))
 		if err != nil {
-			logStore.Close()
+			logDir.Close()
 			return nil, err
 		}
 		disk, err := storage.OpenFileDisk(filepath.Join(o.Dir, "pages.db"))
 		if err != nil {
-			logStore.Close()
+			logDir.Close()
 			master.Close()
 			return nil, err
 		}
-		engineOpts.LogStore = logStore
+		engineOpts.LogDir = logDir
 		engineOpts.MasterStore = master
 		engineOpts.Disk = disk
 		cleanup = func() {
-			logStore.Close()
+			logDir.Close()
 			master.Close()
 			disk.Close()
 		}

@@ -9,10 +9,19 @@ import (
 
 // Backup takes an online, crash-consistent backup of a file-backed
 // database into destDir: the engine is quiesced (log flushed, no
-// concurrent mutations), and the log, pages and master record are copied.
-// The backup is a valid database directory — Open on it runs ordinary
-// restart recovery, rolling back whatever was in flight at backup time.
-// In-memory databases (no Dir) cannot be backed up.
+// concurrent mutations), and the log directory, pages and master record
+// are copied.  The backup is a valid database directory — Open on it
+// runs ordinary restart recovery, rolling back whatever was in flight at
+// backup time.  In-memory databases (no Dir) cannot be backed up.
+//
+// Log copying is incremental across repeated backups into the same
+// destDir: the segmented WAL's files are immutable once sealed (sealed
+// segments and manifest generations are never rewritten, and the active
+// segment only grows), so a destination file with the same name and size
+// as the source is already identical and is skipped — only segments past
+// what the previous backup shipped cost I/O.  Files the source no longer
+// has (archived segments, superseded manifest generations) are deleted
+// from the destination so the copy is exactly the source directory.
 func (db *DB) Backup(destDir string) error {
 	if db.dir == "" {
 		return fmt.Errorf("ariesrh: backup requires a file-backed database")
@@ -21,13 +30,59 @@ func (db *DB) Backup(destDir string) error {
 		return err
 	}
 	return db.eng.Quiesce(func() error {
-		for _, name := range []string{"wal.log", "pages.db", "master"} {
+		for _, name := range []string{"pages.db", "master"} {
 			if err := copyFile(filepath.Join(db.dir, name), filepath.Join(destDir, name)); err != nil {
 				return fmt.Errorf("ariesrh: backup %s: %w", name, err)
 			}
 		}
+		if err := syncDirCopy(filepath.Join(db.dir, "wal"), filepath.Join(destDir, "wal")); err != nil {
+			return fmt.Errorf("ariesrh: backup wal: %w", err)
+		}
 		return nil
 	})
+}
+
+// syncDirCopy mirrors the flat file directory src into dst, skipping
+// files whose name and size already match (valid only because every WAL
+// file is append-only or immutable) and deleting files absent from src.
+func syncDirCopy(src, dst string) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	srcEntries, err := os.ReadDir(src)
+	if err != nil {
+		return err
+	}
+	srcNames := make(map[string]bool, len(srcEntries))
+	for _, e := range srcEntries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		srcNames[e.Name()] = true
+		info, err := e.Info()
+		if err != nil {
+			return err
+		}
+		if dstInfo, err := os.Stat(filepath.Join(dst, e.Name())); err == nil &&
+			dstInfo.Mode().IsRegular() && dstInfo.Size() == info.Size() {
+			continue // sealed/immutable file already shipped
+		}
+		if err := copyFile(filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())); err != nil {
+			return err
+		}
+	}
+	dstEntries, err := os.ReadDir(dst)
+	if err != nil {
+		return err
+	}
+	for _, e := range dstEntries {
+		if e.Type().IsRegular() && !srcNames[e.Name()] {
+			if err := os.Remove(filepath.Join(dst, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func copyFile(src, dst string) error {

@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e12, a1, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e13, a1, or all")
 	quick := flag.Bool("quick", false, "use smaller workload sizes")
 	jsonPath := flag.String("json", "", "also write the tables as a JSON array to this file")
 	flag.Parse()
@@ -115,6 +115,18 @@ func main() {
 			}
 			return bench.E12EarlyLockRelease(committers, txnsPer, updatesPer, hot, delay)
 		}},
+		{"e13", func() (*bench.Table, error) {
+			// Fixed prefix dropped from growing logs isolates archive cost
+			// from retained length; the windowed cell bounds the footprint;
+			// the crash sweep covers the rotation/archive maintenance paths.
+			lengths := []int{8192, 32768, 131072}
+			rounds, maxBoundaries := 80, 0
+			if *quick {
+				lengths = []int{4096, 16384, 65536}
+				rounds, maxBoundaries = 40, 60
+			}
+			return bench.E13ArchiveCost(lengths, 2048, 1024, 4096, rounds, maxBoundaries)
+		}},
 	}
 
 	var tables []*bench.Table
@@ -132,7 +144,7 @@ func main() {
 		tables = append(tables, table)
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want e1..e12, a1, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want e1..e13, a1, or all)", *exp)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")

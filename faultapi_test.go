@@ -5,19 +5,15 @@ import (
 	"testing"
 
 	"ariesrh/internal/fault"
-	"ariesrh/internal/wal"
 )
 
-// TestFaultStoreOptionAndHealth drives the degraded-mode lifecycle
-// through the public API: a fault.Store injected via Options.FaultStore
+// TestFaultDirOptionAndHealth drives the degraded-mode lifecycle
+// through the public API: a fault.Dir injected via Options.FaultDir
 // kills the device, commits fail, Health reports degraded, reads and
 // Abort keep working, and a restart with a healed device repairs it.
-func TestFaultStoreOptionAndHealth(t *testing.T) {
-	store, err := fault.NewStore(wal.NewMemStore(), fault.Plan{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	db, err := Open(Options{FaultStore: store})
+func TestFaultDirOptionAndHealth(t *testing.T) {
+	store := fault.NewDir(fault.Plan{})
+	db, err := Open(Options{FaultDir: store})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,15 +78,12 @@ func TestFaultStoreOptionAndHealth(t *testing.T) {
 	}
 }
 
-// TestFaultStoreExcludesDir pins the Options contract: a directory-backed
-// database opens its own log file, so combining Dir with FaultStore is
-// rejected rather than silently ignoring one of them.
-func TestFaultStoreExcludesDir(t *testing.T) {
-	store, err := fault.NewStore(wal.NewMemStore(), fault.Plan{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Open(Options{Dir: t.TempDir(), FaultStore: store}); err == nil {
-		t.Fatal("Open accepted Dir together with FaultStore")
+// TestFaultDirExcludesDir pins the Options contract: a directory-backed
+// database opens its own log directory, so combining Dir with FaultDir
+// is rejected rather than silently ignoring one of them.
+func TestFaultDirExcludesDir(t *testing.T) {
+	store := fault.NewDir(fault.Plan{})
+	if _, err := Open(Options{Dir: t.TempDir(), FaultDir: store}); err == nil {
+		t.Fatal("Open accepted Dir together with FaultDir")
 	}
 }

@@ -34,9 +34,9 @@ var (
 type Options struct {
 	// PoolSize is the buffer-pool capacity in pages (default 128).
 	PoolSize int
-	// LogStore, Disk and MasterStore override the default in-memory
+	// LogDir, Disk and MasterStore override the default in-memory
 	// stable storage.
-	LogStore    wal.Store
+	LogDir      wal.Dir
 	Disk        storage.DiskManager
 	MasterStore wal.Store
 }
@@ -78,8 +78,8 @@ func New(opts Options) (*Engine, error) {
 	if opts.PoolSize <= 0 {
 		opts.PoolSize = 128
 	}
-	if opts.LogStore == nil {
-		opts.LogStore = wal.NewMemStore()
+	if opts.LogDir == nil {
+		opts.LogDir = wal.NewMemDir()
 	}
 	if opts.Disk == nil {
 		opts.Disk = storage.NewMemDisk()
@@ -87,7 +87,7 @@ func New(opts Options) (*Engine, error) {
 	if opts.MasterStore == nil {
 		opts.MasterStore = wal.NewMemStore()
 	}
-	log, err := wal.NewLog(opts.LogStore)
+	log, err := wal.NewLog(opts.LogDir)
 	if err != nil {
 		return nil, err
 	}

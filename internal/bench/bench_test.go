@@ -147,3 +147,17 @@ func TestTableFormat(t *testing.T) {
 		}
 	}
 }
+
+func TestE13ArchiveShape(t *testing.T) {
+	tab, err := E13ArchiveCost([]int{512, 8192}, 128, 256, 1024, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two latency cells, two disk cells, one crash-sweep cell.
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5:\n%s", len(tab.Rows), tab.Format())
+	}
+	if !strings.HasPrefix(tab.Verdict, "HOLDS") {
+		t.Fatalf("verdict: %s", tab.Verdict)
+	}
+}

@@ -27,10 +27,10 @@ type e12Row struct {
 // acquisition order, so the workload is deadlock-free) and commits
 // through the group flusher, whose sync costs syncDelay.
 func runE12Cell(committers, txnsPer, updatesPer, hotObjects int, syncDelay time.Duration, elr bool) (e12Row, error) {
-	store := &syncDelayStore{MemStore: wal.NewMemStore(), delay: syncDelay}
+	store := newSyncDelayDir(syncDelay)
 	eng, err := core.New(core.Options{
 		PoolSize:         4096,
-		LogStore:         store,
+		LogDir:           store,
 		GroupCommit:      core.GroupCommitOn,
 		EarlyLockRelease: elr,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -72,6 +73,16 @@ func (e *Engine) commitELR(tx wal.TxID, info *txn.Info, lsn, prevLast wal.LSN, s
 		return ErrCrashed
 	}
 	if ferr != nil {
+		if errors.Is(ferr, wal.ErrLogCrashed) {
+			// Not a device refusal: the log instance went down (Crash)
+			// while the ack was pending, discarding the volatile tail.
+			// The engine-level crashed flag may not be visible yet (Crash
+			// takes the WAL lock before the engine latch), but the
+			// outcome is the same commit-ack ambiguity as the e.crashed
+			// branch above: recovery alone decides the record's fate, so
+			// report the crash rather than degrading a healthy device.
+			return ErrCrashed
+		}
 		// The device refused the flush past the WAL's retry budget.  But
 		// under group commit a failed round is not the last word: other
 		// queued FlushAsync waiters trigger later rounds, and one of

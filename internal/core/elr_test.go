@@ -11,15 +11,16 @@ import (
 	"ariesrh/internal/wal"
 )
 
-// elrStore gates Sync for early-lock-release tests.  In gate mode (arm)
-// each armed Sync signals entered, blocks on the gate, and — if
-// failOnRelease was set while it was blocked — fails with a no-retry
-// device error.  In script mode (armScript) each armed Sync signals
-// entered and then consumes one directive from script: true fails that
-// one attempt, false lets it through — so consecutive device rounds can
-// deterministically fail then succeed.
+// elrStore is a fault-injecting wal.Dir that gates device Syncs for
+// early-lock-release tests.  In gate mode (arm) each armed Sync signals
+// entered, blocks on the gate, and — if failOnRelease was set while it
+// was blocked — fails with a no-retry device error.  In script mode
+// (armScript) each armed Sync signals entered and then consumes one
+// directive from script: true fails that one attempt, false lets it
+// through — so consecutive device rounds can deterministically fail then
+// succeed.
 type elrStore struct {
-	wal.Store
+	*wal.MemDir
 	mu            sync.Mutex
 	armed         bool
 	scripted      bool
@@ -31,7 +32,7 @@ type elrStore struct {
 
 func newELRStore() *elrStore {
 	return &elrStore{
-		Store:   wal.NewMemStore(),
+		MemDir:  wal.NewMemDir(),
 		gate:    make(chan struct{}),
 		entered: make(chan struct{}, 16),
 		script:  make(chan bool),
@@ -60,19 +61,33 @@ func (s *elrStore) reset() {
 	s.mu.Unlock()
 }
 
-func (s *elrStore) Sync() error {
+func (s *elrStore) Open(name string) (wal.Store, error) {
+	dev, err := s.MemDir.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &elrDev{Store: dev, dir: s}, nil
+}
+
+type elrDev struct {
+	wal.Store
+	dir *elrStore
+}
+
+func (d *elrDev) Sync() error {
+	s := d.dir
 	s.mu.Lock()
 	armed, scripted := s.armed, s.scripted
 	s.mu.Unlock()
 	if !armed {
-		return s.Store.Sync()
+		return d.Store.Sync()
 	}
 	s.entered <- struct{}{}
 	if scripted {
 		if <-s.script {
 			return fmt.Errorf("%w: injected sync failure", wal.ErrNoRetry)
 		}
-		return s.Store.Sync()
+		return d.Store.Sync()
 	}
 	<-s.gate
 	s.mu.Lock()
@@ -81,13 +96,13 @@ func (s *elrStore) Sync() error {
 	if fail {
 		return fmt.Errorf("%w: injected sync failure", wal.ErrNoRetry)
 	}
-	return s.Store.Sync()
+	return d.Store.Sync()
 }
 
 func newELREngine(t *testing.T) (*Engine, *elrStore) {
 	t.Helper()
 	store := newELRStore()
-	e, err := New(Options{PoolSize: 16, LogStore: store, GroupCommit: GroupCommitOn, EarlyLockRelease: true})
+	e, err := New(Options{PoolSize: 16, LogDir: store, GroupCommit: GroupCommitOn, EarlyLockRelease: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +474,7 @@ func TestELRDelegateThenViolate(t *testing.T) {
 // completes, so a conflicting acquirer waits out the device sync.
 func TestELROffHoldsLocksAcrossFlush(t *testing.T) {
 	store := newELRStore()
-	e, err := New(Options{PoolSize: 16, LogStore: store, GroupCommit: GroupCommitOn})
+	e, err := New(Options{PoolSize: 16, LogDir: store, GroupCommit: GroupCommitOn})
 	if err != nil {
 		t.Fatal(err)
 	}

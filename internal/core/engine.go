@@ -130,11 +130,17 @@ const (
 type Options struct {
 	// PoolSize is the buffer-pool capacity in pages (default 128).
 	PoolSize int
-	// LogStore, Disk and MasterStore override the default in-memory
-	// stable storage (used for file-backed operation).
-	LogStore    wal.Store
+	// LogDir, Disk and MasterStore override the default in-memory
+	// stable storage (used for file-backed operation).  LogDir is the
+	// segmented log's directory (see wal.Dir); the engine closes it on
+	// Close.
+	LogDir      wal.Dir
 	Disk        storage.DiskManager
 	MasterStore wal.Store
+	// LogSegmentBytes overrides the log's segment rotation threshold
+	// (0 means wal.DefaultSegmentBytes).  Small values are useful to
+	// exercise rotation in tests and benchmarks.
+	LogSegmentBytes int64
 	// DisableChaining skips delegate-record backward-chain maintenance;
 	// used only by ablation benchmarks.
 	DisableChaining bool
@@ -268,8 +274,8 @@ func New(opts Options) (*Engine, error) {
 	if opts.PoolSize <= 0 {
 		opts.PoolSize = 128
 	}
-	if opts.LogStore == nil {
-		opts.LogStore = wal.NewMemStore()
+	if opts.LogDir == nil {
+		opts.LogDir = wal.NewMemDir()
 	}
 	if opts.Disk == nil {
 		opts.Disk = storage.NewMemDisk()
@@ -277,7 +283,7 @@ func New(opts Options) (*Engine, error) {
 	if opts.MasterStore == nil {
 		opts.MasterStore = wal.NewMemStore()
 	}
-	log, err := wal.NewLog(opts.LogStore)
+	log, err := wal.NewLogWith(opts.LogDir, wal.LogOptions{SegmentBytes: opts.LogSegmentBytes})
 	if err != nil {
 		return nil, err
 	}
@@ -514,6 +520,25 @@ func (e *Engine) Quiesce(fn func() error) error {
 	return fn()
 }
 
+// FlushPages writes every dirty buffer-pool page back to disk, honoring
+// the WAL rule (the log is forced up to each page's LSN first).  Fuzzy
+// checkpoints do not flush pages, so a hot page that is never evicted
+// pins the dirty-page table's recLSN — and with it the archive bound —
+// arbitrarily far back; flushing pages before a checkpoint lets
+// ArchiveLog reclaim up to the checkpoint itself.
+func (e *Engine) FlushPages() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.writableLocked(); err != nil {
+		return err
+	}
+	if err := e.store.FlushAll(); err != nil {
+		e.degradeLocked(err)
+		return err
+	}
+	return nil
+}
+
 // Crash simulates a failure: the unflushed log tail, buffer pool, lock
 // table, transaction table and all object lists are lost.  Stable storage
 // (flushed log, written pages, master record) survives.  The engine
@@ -561,7 +586,7 @@ func (e *Engine) Close() error {
 		return err
 	}
 	err := e.disk.Close()
-	if cerr := e.opts.LogStore.Close(); err == nil {
+	if cerr := e.opts.LogDir.Close(); err == nil {
 		err = cerr
 	}
 	if cerr := e.opts.MasterStore.Close(); err == nil {

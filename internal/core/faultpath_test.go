@@ -17,11 +17,8 @@ import (
 // may be left parked on its channel — and the engine must land in
 // queryable read-only degraded mode rather than wedging or panicking.
 func TestPersistentSyncErrorReleasesAllFlushWaiters(t *testing.T) {
-	store, err := fault.NewStore(wal.NewMemStore(), fault.Plan{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	e, err := New(Options{LogStore: store, GroupCommit: GroupCommitOn})
+	store := fault.NewDir(fault.Plan{})
+	e, err := New(Options{LogDir: store, GroupCommit: GroupCommitOn})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,11 +133,8 @@ func TestPersistentSyncErrorReleasesAllFlushWaiters(t *testing.T) {
 // completes (undo applied, locks released) and degrades the engine
 // instead of failing.
 func TestDegradedAbortWithoutForce(t *testing.T) {
-	store, err := fault.NewStore(wal.NewMemStore(), fault.Plan{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	e, err := New(Options{LogStore: store, GroupCommit: GroupCommitOff})
+	store := fault.NewDir(fault.Plan{})
+	e, err := New(Options{LogDir: store, GroupCommit: GroupCommitOff})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,12 +10,13 @@ import (
 	"ariesrh/internal/wal"
 )
 
-// syncStore wraps a MemStore for flush-path fault injection: it counts
-// Sync calls, can gate them (each armed Sync blocks until the gate is
-// closed), and can make them fail.  Arming happens after engine setup so
-// the log-header sync and test fixtures are not affected.
+// syncStore is a wal.Dir wrapper for flush-path fault injection: it
+// counts device Sync calls, can gate them (each armed Sync blocks until
+// the gate is closed), and can make them fail.  Arming happens after
+// engine setup so the log-initialization syncs and test fixtures are not
+// affected.
 type syncStore struct {
-	wal.Store
+	*wal.MemDir
 	mu      sync.Mutex
 	gated   bool
 	failing bool
@@ -26,7 +27,7 @@ type syncStore struct {
 
 func newSyncStore() *syncStore {
 	return &syncStore{
-		Store:   wal.NewMemStore(),
+		MemDir:  wal.NewMemDir(),
 		gate:    make(chan struct{}),
 		entered: make(chan struct{}, 16),
 	}
@@ -34,7 +35,21 @@ func newSyncStore() *syncStore {
 
 var errInjectedSync = errors.New("injected sync failure")
 
-func (s *syncStore) Sync() error {
+func (s *syncStore) Open(name string) (wal.Store, error) {
+	dev, err := s.MemDir.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &syncStoreDev{Store: dev, dir: s}, nil
+}
+
+type syncStoreDev struct {
+	wal.Store
+	dir *syncStore
+}
+
+func (d *syncStoreDev) Sync() error {
+	s := d.dir
 	s.mu.Lock()
 	gated, failing := s.gated, s.failing
 	if gated || failing {
@@ -48,7 +63,7 @@ func (s *syncStore) Sync() error {
 		s.entered <- struct{}{}
 		<-s.gate
 	}
-	return s.Store.Sync()
+	return d.Store.Sync()
 }
 
 func (s *syncStore) arm(gated bool) { s.mu.Lock(); s.gated = gated; s.mu.Unlock() }
@@ -87,7 +102,7 @@ func TestAbortRoutesThroughGroupFlusher(t *testing.T) {
 // device sync apart and never enqueueing a single flush waiter.
 func TestConcurrentAbortsCoalesceSyncs(t *testing.T) {
 	store := newSyncStore()
-	e, err := New(Options{LogStore: store, GroupCommit: GroupCommitOn})
+	e, err := New(Options{LogDir: store, GroupCommit: GroupCommitOn})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +172,7 @@ func TestConcurrentAbortsCoalesceSyncs(t *testing.T) {
 // clean.
 func TestCommitFlushErrorRestoresBackwardChain(t *testing.T) {
 	store := newSyncStore()
-	e, err := New(Options{LogStore: store, GroupCommit: GroupCommitOn})
+	e, err := New(Options{LogDir: store, GroupCommit: GroupCommitOn})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -177,9 +177,9 @@ func TestFollowerRejectsWritesAndGaps(t *testing.T) {
 // in-flight transactions live, so the stream (or Promote) decides their
 // fate — unlike Recover, which would roll them back immediately.
 func TestFollowerCatchUpFromLocalLog(t *testing.T) {
-	logStore, master := wal.NewMemStore(), wal.NewMemStore()
+	logDir, master := wal.NewMemDir(), wal.NewMemStore()
 	disk := storage.NewMemDisk()
-	p, err := New(Options{LogStore: logStore, Disk: disk, MasterStore: master, GroupCommit: GroupCommitOff})
+	p, err := New(Options{LogDir: logDir, Disk: disk, MasterStore: master, GroupCommit: GroupCommitOff})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +193,7 @@ func TestFollowerCatchUpFromLocalLog(t *testing.T) {
 	}
 	// Reopen the same stable state as a follower (no Close: the old
 	// engine is simply abandoned, as after a primary failure).
-	f, err := New(Options{LogStore: logStore, Disk: disk, MasterStore: master, Follower: true})
+	f, err := New(Options{LogDir: logDir, Disk: disk, MasterStore: master, Follower: true})
 	if err != nil {
 		t.Fatal(err)
 	}

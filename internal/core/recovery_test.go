@@ -220,10 +220,10 @@ func TestRecoveryIdempotentRedo(t *testing.T) {
 func TestRecoveryReopenFromStores(t *testing.T) {
 	// A brand-new engine over the same stable stores (process restart
 	// rather than in-process crash) must recover identically.
-	logStore := wal.NewMemStore()
+	logDir := wal.NewMemDir()
 	master := wal.NewMemStore()
 	disk := storage.NewMemDisk()
-	e, err := New(Options{PoolSize: 16, LogStore: logStore, Disk: disk, MasterStore: master})
+	e, err := New(Options{PoolSize: 16, LogDir: logDir, Disk: disk, MasterStore: master})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +237,7 @@ func TestRecoveryReopenFromStores(t *testing.T) {
 		t.Fatal(err)
 	}
 	// "Restart": open a second engine over the same stores.
-	e2, err := New(Options{PoolSize: 16, LogStore: logStore, Disk: disk, MasterStore: master})
+	e2, err := New(Options{PoolSize: 16, LogDir: logDir, Disk: disk, MasterStore: master})
 	if err != nil {
 		t.Fatal(err)
 	}

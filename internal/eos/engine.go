@@ -89,7 +89,7 @@ type Stats struct {
 // Options configures an Engine.
 type Options struct {
 	PoolSize int
-	LogStore wal.Store
+	LogDir   wal.Dir
 	Disk     storage.DiskManager
 }
 
@@ -114,13 +114,13 @@ func New(opts Options) (*Engine, error) {
 	if opts.PoolSize <= 0 {
 		opts.PoolSize = 128
 	}
-	if opts.LogStore == nil {
-		opts.LogStore = wal.NewMemStore()
+	if opts.LogDir == nil {
+		opts.LogDir = wal.NewMemDir()
 	}
 	if opts.Disk == nil {
 		opts.Disk = storage.NewMemDisk()
 	}
-	log, err := wal.NewLog(opts.LogStore)
+	log, err := wal.NewLog(opts.LogDir)
 	if err != nil {
 		return nil, err
 	}

@@ -322,9 +322,9 @@ func (s *Store) Frozen() bool {
 }
 
 // StableBytes returns a copy of the stable image: exactly the bytes a
-// crash at this moment would preserve.  Decoding it with
-// wal.DecodeRecord (after skipping wal.HeaderSize) yields the durable
-// log independently of any engine state.
+// crash at this moment would preserve.  For a segment image, decoding it
+// with wal.DecodeRecord (after skipping wal.SegmentHeaderSize) yields
+// the durable records independently of any engine state.
 func (s *Store) StableBytes() []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,8 +1,8 @@
 package fault
 
 import (
-	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 
 	"ariesrh/internal/wal"
@@ -27,14 +27,46 @@ func appendRecords(t *testing.T, l *wal.Log, tx wal.TxID, n int) []wal.LSN {
 	return lsns
 }
 
-// TestStableImageSemantics checks the dual-image core: synced bytes
-// survive CrashNow, unsynced bytes do not (TornTail off).
-func TestStableImageSemantics(t *testing.T) {
-	s, err := NewStore(wal.NewMemStore(), Plan{})
+// snapshotBytes flattens a MemDir snapshot to name → bytes for equality
+// checks.
+func snapshotBytes(t *testing.T, d *wal.MemDir) map[string]string {
+	t.Helper()
+	names, err := d.List()
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := wal.NewLog(s) // header write + sync
+	out := make(map[string]string, len(names))
+	for _, name := range names {
+		dev, err := d.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := dev.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, size)
+		if size > 0 {
+			if _, err := dev.ReadAt(buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out[name] = string(buf)
+	}
+	return out
+}
+
+// Opening a fresh log costs two syncs (segment-1 header, manifest gen 1);
+// the directory's shared schedule counts them, so "crash at the first
+// flush" is CrashAtSync: 3.
+const initSyncs = 2
+
+// TestDirStableImageSemantics checks the dual-image core across a whole
+// directory: synced bytes survive CrashNow, unsynced bytes do not
+// (TornTail off).
+func TestDirStableImageSemantics(t *testing.T) {
+	d := NewDir(Plan{})
+	l, err := wal.NewLog(d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,9 +76,17 @@ func TestStableImageSemantics(t *testing.T) {
 	}
 	durableHead := l.Head()
 	appendRecords(t, l, 1, 2) // volatile: appended, never flushed
-	stableBefore := s.StableBytes()
 
-	if _, err := s.CrashNow(); err != nil {
+	_, recs, err := wal.ReadDurable(d.StableDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != int(durableHead) {
+		t.Fatalf("stable snapshot holds %d records, want %d", len(recs), durableHead)
+	}
+	stableBefore := snapshotBytes(t, d.StableDir())
+
+	if _, err := d.CrashNow(); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Crash(); err != nil {
@@ -55,7 +95,9 @@ func TestStableImageSemantics(t *testing.T) {
 	if got := l.Head(); got != durableHead {
 		t.Fatalf("post-crash head = %d, want %d (only synced records survive)", got, durableHead)
 	}
-	if !bytes.Equal(s.StableBytes(), stableBefore) {
+	// Recovery over the crashed directory rewrites nothing durable beyond
+	// pruning; the surviving records must be byte-identical.
+	if !reflect.DeepEqual(snapshotBytes(t, d.StableDir()), stableBefore) {
 		t.Fatal("stable image changed across a crash with no torn tail")
 	}
 }
@@ -79,20 +121,18 @@ func TestUnsyncedWriteLostWithoutSync(t *testing.T) {
 	}
 }
 
-// TestCrashAtSyncFreezesDevice verifies the crash schedule: the stable
-// image is pinned right after the Nth sync, later syncs fail with
-// ErrCrashPoint (marked no-retry), and CrashNow disarms the freeze.
-func TestCrashAtSyncFreezesDevice(t *testing.T) {
-	s, err := NewStore(wal.NewMemStore(), Plan{CrashAtSync: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	l, err := wal.NewLog(s) // sync 1: header
+// TestDirCrashAtSyncFreezes verifies the shared crash schedule: the
+// directory freezes right after the Nth sync wherever it lands, later
+// syncs fail with ErrCrashPoint (marked no-retry), and CrashNow disarms
+// the freeze.
+func TestDirCrashAtSyncFreezes(t *testing.T) {
+	d := NewDir(Plan{CrashAtSync: initSyncs + 1})
+	l, err := wal.NewLog(d)
 	if err != nil {
 		t.Fatal(err)
 	}
 	appendRecords(t, l, 1, 2)
-	if err := l.Flush(l.Head()); err != nil { // sync 2: succeeds, then freezes
+	if err := l.Flush(l.Head()); err != nil { // sync 3: succeeds, then freezes
 		t.Fatal(err)
 	}
 	frozenHead := l.Head()
@@ -104,11 +144,11 @@ func TestCrashAtSyncFreezesDevice(t *testing.T) {
 	if !errors.Is(ferr, wal.ErrNoRetry) {
 		t.Fatal("ErrCrashPoint must be marked wal.ErrNoRetry (sweeps would burn the backoff budget)")
 	}
-	if !s.Frozen() {
-		t.Fatal("store not frozen after its crash schedule fired")
+	if !d.Frozen() {
+		t.Fatal("directory not frozen after its crash schedule fired")
 	}
 
-	if _, err := s.CrashNow(); err != nil {
+	if _, err := d.CrashNow(); err != nil {
 		t.Fatal(err)
 	}
 	if err := l.Crash(); err != nil {
@@ -117,30 +157,71 @@ func TestCrashAtSyncFreezesDevice(t *testing.T) {
 	if got := l.Head(); got != frozenHead {
 		t.Fatalf("post-crash head = %d, want %d (the frozen boundary)", got, frozenHead)
 	}
-	// Disarmed: the device must work again for recovery traffic.
+	// Disarmed: the directory must work again for recovery traffic.
 	appendRecords(t, l, 2, 1)
 	if err := l.Flush(l.Head()); err != nil {
 		t.Fatalf("flush after disarmed crash: %v", err)
 	}
 }
 
-// TestTornTailReopenStopsCleanly is the torn-write property the
+// TestDirFrozenNamespace pins the namespace half of the crash model:
+// past the crash point nothing new can become stable (Open of a fresh
+// name is refused), nothing can disappear (Remove is refused), and a
+// device created but never synced does not survive CrashNow.
+func TestDirFrozenNamespace(t *testing.T) {
+	d := NewDir(Plan{CrashAtSync: 1})
+	dev, err := d.Open("unsynced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.WriteAt([]byte("volatile"), 0); err != nil {
+		t.Fatal(err)
+	}
+	synced, err := d.Open("synced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := synced.WriteAt([]byte("durable"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := synced.Sync(); err != nil { // sync 1: succeeds, then freezes
+		t.Fatal(err)
+	}
+	if !d.Frozen() {
+		t.Fatal("directory not frozen")
+	}
+	if _, err := d.Open("fresh-name"); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("frozen Open of new name = %v, want ErrCrashPoint", err)
+	}
+	if err := d.Remove("synced"); !errors.Is(err, ErrCrashPoint) {
+		t.Fatalf("frozen Remove = %v, want ErrCrashPoint", err)
+	}
+	if _, err := d.CrashNow(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := d.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "synced" {
+		t.Fatalf("post-crash names = %v, want [synced] (never-synced devices vanish)", names)
+	}
+}
+
+// TestDirTornTailReopenStopsCleanly is the torn-write property the
 // recovery scan must provide: a crash that persists a partial final
-// append yields a device the log re-opens WITHOUT error, recovering
+// append yields a directory the log re-opens WITHOUT error, recovering
 // exactly the complete-frame prefix.  Every possible torn length is a
 // legal device state, so the test sweeps seeds until it has seen both a
 // mid-frame tear and a clean boundary.
-func TestTornTailReopenStopsCleanly(t *testing.T) {
+func TestDirTornTailReopenStopsCleanly(t *testing.T) {
 	sawPartial := false
 	for seed := int64(0); seed < 64; seed++ {
-		// Sync 1 is the header stamp, sync 2 the first flush; the
-		// freeze then makes the second flush's write land without its
-		// sync — the written-but-unsynced bytes a crash can tear.
-		s, err := NewStore(wal.NewMemStore(), Plan{Seed: seed, TornTail: true, CrashAtSync: 2})
-		if err != nil {
-			t.Fatal(err)
-		}
-		l, err := wal.NewLog(s)
+		// The freeze after the first flush makes the second flush's write
+		// land without its sync — the written-but-unsynced bytes a crash
+		// can tear.
+		d := NewDir(Plan{Seed: seed, TornTail: true, CrashAtSync: initSyncs + 1})
+		l, err := wal.NewLog(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,19 +232,15 @@ func TestTornTailReopenStopsCleanly(t *testing.T) {
 		durable := l.Head()
 		appendRecords(t, l, 1, 3)
 		if err := l.Flush(l.Head()); !errors.Is(err, ErrCrashPoint) {
-			t.Fatalf("seed %d: flush into frozen device = %v, want ErrCrashPoint", seed, err)
+			t.Fatalf("seed %d: flush into frozen directory = %v, want ErrCrashPoint", seed, err)
 		}
-		stableLen := s.StableSize()
 
-		torn, err := s.CrashNow()
+		torn, err := d.CrashNow()
 		if err != nil {
 			t.Fatal(err)
 		}
 		if torn > 0 {
 			sawPartial = true
-		}
-		if size, _ := s.Size(); size != stableLen+int64(torn) {
-			t.Fatalf("seed %d: device size %d, want stable %d + torn %d", seed, size, stableLen, torn)
 		}
 		// The log must re-open cleanly whatever the torn length.
 		if err := l.Crash(); err != nil {
@@ -241,15 +318,12 @@ func TestFailEveryNthSync(t *testing.T) {
 	}
 }
 
-// TestDeterministicAcrossRuns replays the same workload against the
+// TestDirDeterministicAcrossRuns replays the same workload against the
 // same plan twice and requires byte-identical crash images.
-func TestDeterministicAcrossRuns(t *testing.T) {
-	run := func() []byte {
-		s, err := NewStore(wal.NewMemStore(), Plan{Seed: 42, TornTail: true, CrashAtSync: 2})
-		if err != nil {
-			t.Fatal(err)
-		}
-		l, err := wal.NewLog(s)
+func TestDirDeterministicAcrossRuns(t *testing.T) {
+	run := func() map[string]string {
+		d := NewDir(Plan{Seed: 42, TornTail: true, CrashAtSync: initSyncs + 1})
+		l, err := wal.NewLog(d)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,13 +332,13 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 			t.Fatal(err)
 		}
 		appendRecords(t, l, 1, 4)
-		_ = l.Flush(l.Head()) // hits the frozen device
-		if _, err := s.CrashNow(); err != nil {
+		_ = l.Flush(l.Head()) // hits the frozen directory
+		if _, err := d.CrashNow(); err != nil {
 			t.Fatal(err)
 		}
-		return s.StableBytes()
+		return snapshotBytes(t, d.StableDir())
 	}
-	if !bytes.Equal(run(), run()) {
+	if !reflect.DeepEqual(run(), run()) {
 		t.Fatal("identical plans and workloads produced different crash images")
 	}
 }

@@ -121,7 +121,7 @@ type Engine struct {
 type Options struct {
 	Mode     Mode
 	PoolSize int
-	LogStore wal.Store
+	LogDir   wal.Dir
 	Disk     storage.DiskManager
 }
 
@@ -130,13 +130,13 @@ func New(opts Options) (*Engine, error) {
 	if opts.PoolSize <= 0 {
 		opts.PoolSize = 128
 	}
-	if opts.LogStore == nil {
-		opts.LogStore = wal.NewMemStore()
+	if opts.LogDir == nil {
+		opts.LogDir = wal.NewMemDir()
 	}
 	if opts.Disk == nil {
 		opts.Disk = storage.NewMemDisk()
 	}
-	log, err := wal.NewLog(opts.LogStore)
+	log, err := wal.NewLog(opts.LogDir)
 	if err != nil {
 		return nil, err
 	}

@@ -466,7 +466,7 @@ func TestKitchenSinkWorkload(t *testing.T) {
 // them — the same stack a production deployment would use.
 func TestFileBackedCrashRecovery(t *testing.T) {
 	dir := t.TempDir()
-	logStore, err := wal.OpenFileStore(dir + "/wal.log")
+	logDir, err := wal.OpenFileDir(dir + "/wal")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -478,7 +478,7 @@ func TestFileBackedCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e, err := core.New(core.Options{PoolSize: 32, LogStore: logStore, Disk: disk, MasterStore: master})
+	e, err := core.New(core.Options{PoolSize: 32, LogDir: logDir, Disk: disk, MasterStore: master})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -94,12 +94,9 @@ func ScopeAudit(cfg Config) (ScopeAuditResult, error) {
 	cfg = cfg.withDefaults()
 	var res ScopeAuditResult
 	trace := sim.Generate(cfg.simConfig())
-	store, err := fault.NewStore(wal.NewMemStore(), fault.Plan{Seed: cfg.Seed})
-	if err != nil {
-		return res, err
-	}
+	store := fault.NewDir(fault.Plan{Seed: cfg.Seed})
 	eng, err := core.New(core.Options{
-		LogStore:    store,
+		LogDir:      store,
 		GroupCommit: core.GroupCommitOff,
 		PoolSize:    cfg.PoolSize,
 	})
@@ -109,7 +106,7 @@ func ScopeAudit(cfg Config) (ScopeAuditResult, error) {
 	r := sim.NewReplayer(sim.CoreTarget{Engine: eng}, trace)
 
 	shadow := make(shadowResp)
-	off := int64(wal.HeaderSize)
+	applied := wal.NilLSN
 	for {
 		ok, err := r.Step()
 		if err != nil {
@@ -122,17 +119,21 @@ func ScopeAudit(cfg Config) (ScopeAuditResult, error) {
 		if err := eng.Log().Flush(eng.Log().Head()); err != nil {
 			return res, err
 		}
-		// Fold the newly durable records into the shadow sets.
-		buf := store.StableSince(off)
-		for len(buf) > 0 {
-			rec, used, derr := wal.DecodeRecord(buf)
-			if derr != nil {
-				return res, fmt.Errorf("torture: audit decode at offset %d: %w", off, derr)
+		// Fold the newly durable records into the shadow sets: re-decode
+		// the stable directory image (manifest + segment frames, exactly
+		// what a crash would preserve) and apply what the LSN cursor has
+		// not seen yet.
+		_, recs, derr := wal.ReadDurable(store.StableDir())
+		if derr != nil {
+			return res, fmt.Errorf("torture: audit decode: %w", derr)
+		}
+		for _, rec := range recs {
+			if rec.LSN <= applied {
+				continue
 			}
 			shadow.apply(rec)
+			applied = rec.LSN
 			res.Records++
-			off += int64(used)
-			buf = buf[used:]
 		}
 		ids := r.IDs()
 		for _, slot := range r.LiveSlots() {
@@ -187,15 +188,12 @@ func TransientRun(cfg Config, failEveryNth uint64) (TransientResult, error) {
 	}
 	var res TransientResult
 	trace := sim.Generate(cfg.simConfig())
-	store, err := fault.NewStore(wal.NewMemStore(), fault.Plan{
+	store := fault.NewDir(fault.Plan{
 		Seed:             cfg.Seed,
 		FailEveryNthSync: failEveryNth,
 	})
-	if err != nil {
-		return res, err
-	}
 	eng, err := core.New(core.Options{
-		LogStore:    store,
+		LogDir:      store,
 		GroupCommit: core.GroupCommitOn,
 		PoolSize:    cfg.PoolSize,
 	})

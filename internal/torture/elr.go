@@ -154,14 +154,11 @@ func elrBenign(err error) bool {
 func ELRRun(cfg ELRConfig) (ELRResult, error) {
 	cfg = cfg.withDefaults()
 
-	probe, err := fault.NewStore(wal.NewMemStore(), fault.Plan{
+	probe := fault.NewDir(fault.Plan{
 		Seed:              cfg.Seed,
 		SyncDelay:         cfg.SyncDelay,
 		DelayEveryNthSync: 1,
 	})
-	if err != nil {
-		return ELRResult{}, err
-	}
 	eng, err := newELRTortureEngine(probe)
 	if err != nil {
 		return ELRResult{}, err
@@ -214,9 +211,9 @@ func ELRRun(cfg ELRConfig) (ELRResult, error) {
 	return res, nil
 }
 
-func newELRTortureEngine(store wal.Store) (*core.Engine, error) {
+func newELRTortureEngine(dir wal.Dir) (*core.Engine, error) {
 	return core.New(core.Options{
-		LogStore:         store,
+		LogDir:           dir,
 		GroupCommit:      core.GroupCommitOn,
 		EarlyLockRelease: true,
 		PoolSize:         64,
@@ -243,13 +240,25 @@ func (cfg ELRConfig) runELRBoundary(k uint64) (elrBoundaryStats, error) {
 		SyncDelay:         cfg.SyncDelay,
 		DelayEveryNthSync: 1,
 	}
-	store, err := fault.NewStore(wal.NewMemStore(), plan)
-	if err != nil {
-		return bs, err
-	}
+	store := fault.NewDir(plan)
 	eng, err := newELRTortureEngine(store)
 	if err != nil {
-		return bs, err
+		if !isCrashSignal(err) {
+			return bs, err
+		}
+		// The boundary fired inside log initialization — no engine, no
+		// workload.  Settle it as a crash over the partial bootstrap.
+		torn, err := initCrashRecovery(store, func() (*core.Engine, error) {
+			return newELRTortureEngine(store)
+		})
+		if err != nil {
+			return bs, err
+		}
+		bs.fired = 1
+		if torn {
+			bs.torn = 1
+		}
+		return bs, nil
 	}
 
 	// Capture every commit-dependency edge the run forms.  The hook runs
@@ -282,7 +291,10 @@ func (cfg ELRConfig) runELRBoundary(k uint64) (elrBoundaryStats, error) {
 	if tornBytes > 0 {
 		bs.torn = 1
 	}
-	recs := decodeImage(store.StableBytes())
+	recs, err := decodeStable(store)
+	if err != nil {
+		return bs, fmt.Errorf("decode durable log: %w", err)
+	}
 	bs.records = len(recs)
 	winners := durableWinners(recs)
 

@@ -60,12 +60,9 @@ func ReplRun(cfg Config) (ReplResult, error) {
 
 	// Probe: replication never touches the primary's device, so the sync
 	// boundaries are the same pure function of the trace as in Run.
-	probe, err := fault.NewStore(wal.NewMemStore(), fault.Plan{})
-	if err != nil {
-		return ReplResult{}, err
-	}
+	probe := fault.NewDir(fault.Plan{})
 	eng, err := core.New(core.Options{
-		LogStore:    probe,
+		LogDir:      probe,
 		GroupCommit: core.GroupCommitOff,
 		PoolSize:    cfg.PoolSize,
 	})
@@ -139,17 +136,30 @@ func (cfg Config) runReplBoundary(trace []sim.Action, k uint64) (replBoundarySta
 		CrashAtSync: k,
 		TornTail:    cfg.TornEvery > 0 && k%uint64(cfg.TornEvery) == 0,
 	}
-	store, err := fault.NewStore(wal.NewMemStore(), plan)
-	if err != nil {
-		return bs, err
+	store := fault.NewDir(plan)
+	mkPrimary := func() (*core.Engine, error) {
+		return core.New(core.Options{
+			LogDir:      store,
+			GroupCommit: core.GroupCommitOff,
+			PoolSize:    cfg.PoolSize,
+		})
 	}
-	primary, err := core.New(core.Options{
-		LogStore:    store,
-		GroupCommit: core.GroupCommitOff,
-		PoolSize:    cfg.PoolSize,
-	})
+	primary, err := mkPrimary()
 	if err != nil {
-		return bs, err
+		if !isCrashSignal(err) {
+			return bs, err
+		}
+		// The boundary fired inside log initialization: the primary never
+		// came up, nothing was ever shipped, and there is no replica to
+		// promote.  Settle it as a crash over the partial bootstrap.
+		torn, err := initCrashRecovery(store, mkPrimary)
+		if err != nil {
+			return bs, err
+		}
+		if torn {
+			bs.torn = 1
+		}
+		return bs, nil
 	}
 	feed, err := repl.NewPrimary(primary)
 	if err != nil {
@@ -216,7 +226,10 @@ func (cfg Config) runReplBoundary(trace []sim.Action, k uint64) (replBoundarySta
 	// The replica's durable log must be a prefix of the primary's
 	// post-crash device image: only flushed records ship, and flushed
 	// records are exactly the stable (pre-torn-tail) image.
-	primaryRecs := decodeImage(store.StableBytes())
+	primaryRecs, err := decodeStable(store)
+	if err != nil {
+		return bs, fmt.Errorf("decode primary durable log: %w", err)
+	}
 	var replicaRecs []*wal.Record
 	follower.Log().ResetReadCursor()
 	err = follower.Log().Scan(1, wal.NilLSN, func(rec *wal.Record) (bool, error) {

@@ -160,24 +160,45 @@ func isCrashSignal(err error) bool {
 	return errors.Is(err, fault.ErrCrashPoint) || errors.Is(err, core.ErrDegraded)
 }
 
-// decodeImage decodes a post-crash device image into its record
-// sequence.  Decoding stops cleanly at the torn tail (ErrCorrupt /
-// ErrTruncated), exactly as recovery's analysis scan does.
-func decodeImage(img []byte) []*wal.Record {
-	var recs []*wal.Record
-	if len(img) < wal.HeaderSize {
-		return recs
+// decodeStable decodes a post-crash directory image into its durable
+// record sequence via wal.ReadDurable: manifest selection, per-segment
+// frames, stopping cleanly at the torn tail — exactly as recovery's
+// analysis scan does.
+func decodeStable(dir *fault.Dir) ([]*wal.Record, error) {
+	_, recs, err := wal.ReadDurable(dir.StableDir())
+	return recs, err
+}
+
+// initCrashRecovery settles a boundary that fired inside log
+// initialization: the segmented log takes its own syncs to come up (the
+// first segment header, then manifest generation 1), so the earliest
+// boundaries freeze the device before the engine ever exists.  The
+// crash contract is the same as at any other point — the durable image
+// (a partial bootstrap: possibly a segment header with no manifest)
+// must decode to zero records, and a fresh engine opened over it must
+// come up empty.  Reports whether a torn tail was persisted.
+func initCrashRecovery(store *fault.Dir, open func() (*core.Engine, error)) (bool, error) {
+	tornBytes, err := store.CrashNow()
+	if err != nil {
+		return false, err
 	}
-	p := img[wal.HeaderSize:]
-	for len(p) > 0 {
-		rec, used, err := wal.DecodeRecord(p)
-		if err != nil {
-			break
-		}
-		recs = append(recs, rec)
-		p = p[used:]
+	recs, err := decodeStable(store)
+	if err != nil {
+		return false, fmt.Errorf("decode durable log after init-time crash: %w", err)
 	}
-	return recs
+	if len(recs) != 0 {
+		return false, fmt.Errorf("init-time crash left %d durable records, want 0", len(recs))
+	}
+	eng, err := open()
+	if err != nil {
+		return false, fmt.Errorf("reopen after init-time crash: %w", err)
+	}
+	if got, _, err := eng.ReadObject(1); err != nil {
+		return false, err
+	} else if len(got) != 0 {
+		return false, fmt.Errorf("object 1 = %q after init-time crash, want empty", got)
+	}
+	return tornBytes > 0, nil
 }
 
 // durableWinners returns the transactions with a durable commit record —
@@ -314,14 +335,11 @@ func Run(cfg Config) (Result, error) {
 
 	// Probe: count the sync boundaries the trace performs.  With group
 	// commit off every commit/abort forces exactly one device sync (plus
-	// one for the log header), so the count — and with it every crash
-	// point — is a pure function of the trace.
-	probe, err := fault.NewStore(wal.NewMemStore(), fault.Plan{})
-	if err != nil {
-		return Result{}, err
-	}
+	// the log-initialization and any rotation syncs), so the count — and
+	// with it every crash point — is a pure function of the trace.
+	probe := fault.NewDir(fault.Plan{})
 	eng, err := core.New(core.Options{
-		LogStore:    probe,
+		LogDir:      probe,
 		GroupCommit: core.GroupCommitOff,
 		PoolSize:    cfg.PoolSize,
 	})
@@ -397,17 +415,29 @@ func (cfg Config) runBoundary(trace []sim.Action, k uint64) (boundaryStats, erro
 		CrashAtSync: k,
 		TornTail:    cfg.TornEvery > 0 && k%uint64(cfg.TornEvery) == 0,
 	}
-	store, err := fault.NewStore(wal.NewMemStore(), plan)
-	if err != nil {
-		return bs, err
+	store := fault.NewDir(plan)
+	mk := func() (*core.Engine, error) {
+		return core.New(core.Options{
+			LogDir:      store,
+			GroupCommit: core.GroupCommitOff,
+			PoolSize:    cfg.PoolSize,
+		})
 	}
-	eng, err := core.New(core.Options{
-		LogStore:    store,
-		GroupCommit: core.GroupCommitOff,
-		PoolSize:    cfg.PoolSize,
-	})
+	eng, err := mk()
 	if err != nil {
-		return bs, err
+		if !isCrashSignal(err) {
+			return bs, err
+		}
+		// The boundary fired inside log initialization — no engine, no
+		// workload.  Settle it as a crash over the partial bootstrap.
+		torn, err := initCrashRecovery(store, mk)
+		if err != nil {
+			return bs, err
+		}
+		if torn {
+			bs.torn = 1
+		}
+		return bs, nil
 	}
 	r := sim.NewReplayer(sim.CoreTarget{Engine: eng}, trace)
 
@@ -438,7 +468,10 @@ func (cfg Config) runBoundary(trace []sim.Action, k uint64) (boundaryStats, erro
 	if tornBytes > 0 {
 		bs.torn = 1
 	}
-	recs := decodeImage(store.StableBytes())
+	recs, err := decodeStable(store)
+	if err != nil {
+		return bs, fmt.Errorf("decode durable log: %w", err)
+	}
 	bs.records = len(recs)
 	winners := durableWinners(recs)
 

@@ -2,28 +2,62 @@ package wal
 
 import (
 	"errors"
+	"fmt"
 	"testing"
+
+	"ariesrh/internal/obs"
 )
 
-func TestArchiveBasic(t *testing.T) {
-	store := NewMemStore()
-	l, err := NewLog(store)
+// dirBytes sums the sizes of every device in dir — the log's physical
+// footprint on stable storage.
+func dirBytes(t *testing.T, dir Dir) int64 {
+	t.Helper()
+	names, err := dir.List()
 	if err != nil {
 		t.Fatal(err)
 	}
+	var total int64
+	for _, name := range names {
+		dev, err := dir.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size, err := dev.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += size
+	}
+	return total
+}
+
+// newTinySegLog returns a log over dir that rotates after every record
+// (SegmentBytes=1), so archives can reclaim at record granularity.
+func newTinySegLog(t *testing.T, dir Dir) *Log {
+	t.Helper()
+	l, err := NewLogWith(dir, LogOptions{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestArchiveBasic(t *testing.T) {
+	dir := NewMemDir()
+	l := newTinySegLog(t, dir)
 	for i := 1; i <= 10; i++ {
 		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
 	}
 	if err := l.Flush(10); err != nil {
 		t.Fatal(err)
 	}
-	sizeBefore, _ := store.Size()
+	sizeBefore := dirBytes(t, dir)
 	if err := l.Archive(6); err != nil {
 		t.Fatal(err)
 	}
-	sizeAfter, _ := store.Size()
+	sizeAfter := dirBytes(t, dir)
 	if sizeAfter >= sizeBefore {
-		t.Fatalf("device did not shrink: %d -> %d", sizeBefore, sizeAfter)
+		t.Fatalf("directory did not shrink: %d -> %d", sizeBefore, sizeAfter)
 	}
 	if l.Base() != 6 || l.Head() != 10 {
 		t.Fatalf("base=%d head=%d", l.Base(), l.Head())
@@ -49,11 +83,8 @@ func TestArchiveBasic(t *testing.T) {
 }
 
 func TestArchiveSurvivesReopenAndCrash(t *testing.T) {
-	store := NewMemStore()
-	l, err := NewLog(store)
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := NewMemDir()
+	l := newTinySegLog(t, dir)
 	for i := 1; i <= 8; i++ {
 		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
 	}
@@ -70,8 +101,8 @@ func TestArchiveSurvivesReopenAndCrash(t *testing.T) {
 	if l.Base() != 5 || l.Head() != 8 {
 		t.Fatalf("after crash: base=%d head=%d", l.Base(), l.Head())
 	}
-	// Fresh Log over the same device.
-	l2, err := NewLog(store)
+	// Fresh Log over the same directory.
+	l2, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,5 +186,115 @@ func TestArchiveRewriteOfArchivedRejected(t *testing.T) {
 	r, err := l.Get(2)
 	if err != nil || r.TxID != 2 {
 		t.Fatalf("Get(2) = %+v, %v", r, err)
+	}
+}
+
+// TestArchiveMidSegmentIsLogical pins the archive's logical-first
+// contract: with every record in one big segment, Archive moves the base
+// exactly to upTo (records at or below it answer ErrArchived) even
+// though no whole segment can be reclaimed — and the base survives
+// reopen via the manifest.
+func TestArchiveMidSegmentIsLogical(t *testing.T) {
+	dir := NewMemDir()
+	l, err := NewLog(dir) // default cap: everything fits one segment
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	if err := l.Flush(6); err != nil {
+		t.Fatal(err)
+	}
+	segsBefore := len(l.Segments())
+	if err := l.Archive(4); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != 4 {
+		t.Fatalf("base = %d, want 4", l.Base())
+	}
+	if got := len(l.Segments()); got != segsBefore {
+		t.Fatalf("segments = %d, want %d (mid-segment archive must not drop files)", got, segsBefore)
+	}
+	if _, err := l.Get(4); !errors.Is(err, ErrArchived) {
+		t.Fatalf("Get(4) err = %v", err)
+	}
+	if _, err := l.Get(5); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := NewLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Base() != 4 || l2.Head() != 6 {
+		t.Fatalf("reopen: base=%d head=%d", l2.Base(), l2.Head())
+	}
+	if _, err := l2.Get(4); !errors.Is(err, ErrArchived) {
+		t.Fatalf("reopened Get(4) err = %v", err)
+	}
+}
+
+// TestArchiveDeviceFailureLeavesStateIntact pins the archive's ordering
+// contract: the manifest write is the commit point, and it happens
+// BEFORE any volatile mutation — a device failure during the archive
+// must leave the log exactly as it was, with every record readable and
+// the metrics untouched.
+func TestArchiveDeviceFailureLeavesStateIntact(t *testing.T) {
+	dir := &failSyncDir{MemDir: NewMemDir()}
+	l, err := NewLogWith(dir, LogOptions{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	l.Instrument(reg)
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	if err := l.Flush(6); err != nil {
+		t.Fatal(err)
+	}
+	segsBefore := len(l.Segments())
+	statsBefore := l.Stats()
+
+	dir.FailSyncsWith(fmt.Errorf("injected sync failure"))
+	if err := l.Archive(4); err == nil {
+		t.Fatal("archive succeeded despite failing device")
+	}
+	dir.FailSyncsWith(nil)
+
+	// Nothing moved: base, segments, metrics, and every record.
+	if l.Base() != NilLSN {
+		t.Fatalf("failed archive moved base to %d", l.Base())
+	}
+	if got := len(l.Segments()); got != segsBefore {
+		t.Fatalf("failed archive changed segment count %d -> %d", segsBefore, got)
+	}
+	if d := l.Stats().Sub(statsBefore); d.Archives != 0 {
+		t.Fatalf("failed archive counted in stats: %+v", d)
+	}
+	if got := reg.Counter("wal.archives").Load(); got != 0 {
+		t.Fatalf("wal.archives = %d after failed archive, want 0", got)
+	}
+	for lsn := LSN(1); lsn <= 6; lsn++ {
+		if _, err := l.Get(lsn); err != nil {
+			t.Fatalf("Get(%d) after failed archive: %v", lsn, err)
+		}
+	}
+	// The log remains fully usable: append, flush, then archive for real.
+	mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 7})
+	if err := l.Flush(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Archive(4); err != nil {
+		t.Fatal(err)
+	}
+	if l.Base() != 4 {
+		t.Fatalf("base = %d after recovery archive", l.Base())
+	}
+	if got := reg.Counter("wal.archives").Load(); got != 1 {
+		t.Fatalf("wal.archives = %d after one successful archive, want 1", got)
+	}
+	if d := l.Stats().Sub(statsBefore); d.Archives != 1 {
+		t.Fatalf("stats after successful archive: %+v", d)
 	}
 }

@@ -32,7 +32,7 @@ func BenchmarkDecodeUpdateRecord(b *testing.B) {
 }
 
 func BenchmarkLogAppend(b *testing.B) {
-	l, err := NewLog(NewMemStore())
+	l, err := NewLog(NewMemDir())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func BenchmarkLogAppend(b *testing.B) {
 func BenchmarkLogAppendFlushEvery(b *testing.B) {
 	for _, every := range []int{1, 16, 256} {
 		b.Run(fmt.Sprintf("flush-%d", every), func(b *testing.B) {
-			l, err := NewLog(NewMemStore())
+			l, err := NewLog(NewMemDir())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -71,7 +71,7 @@ func BenchmarkLogAppendFlushEvery(b *testing.B) {
 }
 
 func BenchmarkLogBackwardSweep(b *testing.B) {
-	l, err := NewLog(NewMemStore())
+	l, err := NewLog(NewMemDir())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Dir is the stable-storage directory a segmented Log lives in: a flat
+// namespace of independently syncable byte devices (segment images and
+// manifest images).  The Log layers segment framing, the manifest and
+// crash semantics on top; a Dir only promises per-device durability
+// (the Store contract) plus a stable name → device mapping.
+//
+// Contract:
+//
+//   - Open creates the named device if absent and returns THE SAME Store
+//     instance for the same name until Remove — the Log re-opens devices
+//     across a simulated Crash and must observe the same underlying
+//     bytes (and, under fault injection, the same fault schedule).
+//   - Remove deletes the device and its name.  Removal of an open device
+//     is allowed (the Log removes archived segments it no longer reads).
+//   - List returns the current names in unspecified order.
+//
+// Two implementations are provided: MemDir (simulated stable storage)
+// and FileDir (a real directory); internal/fault provides a third with
+// deterministic fault injection across all devices.
+type Dir interface {
+	// Open returns the device with the given name, creating it empty if
+	// it does not exist.
+	Open(name string) (Store, error)
+	// Remove deletes the named device.  Removing a missing name is an
+	// error.
+	Remove(name string) error
+	// List returns the names of all devices in the directory.
+	List() ([]string, error)
+	// Close releases every device the Dir handed out.  It does not imply
+	// Sync.
+	Close() error
+}
+
+// MemDir is an in-memory Dir whose devices are MemStores.  Like
+// MemStore it models the stable medium itself: every write is
+// immediately durable, so crash semantics (unsynced-byte loss, torn
+// appends, refused removes) come from wrapping it — or replacing it —
+// with a fault-injecting Dir.  The zero value is ready to use.
+type MemDir struct {
+	mu    sync.Mutex
+	files map[string]*MemStore
+}
+
+// NewMemDir returns an empty in-memory directory.
+func NewMemDir() *MemDir { return &MemDir{} }
+
+// Open returns the named MemStore, creating it if absent.
+func (d *MemDir) Open(name string) (Store, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.files == nil {
+		d.files = make(map[string]*MemStore)
+	}
+	s, ok := d.files[name]
+	if !ok {
+		s = NewMemStore()
+		d.files[name] = s
+	}
+	return s, nil
+}
+
+// Remove deletes the named device.
+func (d *MemDir) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[name]; !ok {
+		return fmt.Errorf("wal: remove %s: no such device", name)
+	}
+	delete(d.files, name)
+	return nil
+}
+
+// List returns the device names, sorted for determinism.
+func (d *MemDir) List() ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	names := make([]string, 0, len(d.files))
+	for name := range d.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Close is a no-op.
+func (d *MemDir) Close() error { return nil }
+
+// Put installs a device image under name, replacing any existing one;
+// used by fault snapshots and tests to materialize a directory state.
+func (d *MemDir) Put(name string, data []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.files == nil {
+		d.files = make(map[string]*MemStore)
+	}
+	s := NewMemStore()
+	if len(data) > 0 {
+		_, _ = s.WriteAt(data, 0)
+	}
+	d.files[name] = s
+}
+
+// FileDir is a Dir backed by a real directory on disk.  It caches the
+// FileStore per name so repeated Opens observe one file handle, and
+// closes them all on Close.
+type FileDir struct {
+	mu   sync.Mutex
+	path string
+	open map[string]*FileStore
+}
+
+// OpenFileDir opens (creating if necessary) the directory at path.
+func OpenFileDir(path string) (*FileDir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open dir %s: %w", path, err)
+	}
+	return &FileDir{path: path, open: make(map[string]*FileStore)}, nil
+}
+
+// Open returns the named file device, creating it if absent.
+func (d *FileDir) Open(name string) (Store, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.open[name]; ok {
+		return s, nil
+	}
+	s, err := OpenFileStore(filepath.Join(d.path, name))
+	if err != nil {
+		return nil, err
+	}
+	d.open[name] = s
+	return s, nil
+}
+
+// Remove closes (if open) and deletes the named file.
+func (d *FileDir) Remove(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s, ok := d.open[name]; ok {
+		_ = s.Close()
+		delete(d.open, name)
+	}
+	return os.Remove(filepath.Join(d.path, name))
+}
+
+// List returns the names of the regular files in the directory.
+func (d *FileDir) List() ([]string, error) {
+	entries, err := os.ReadDir(d.path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list dir %s: %w", d.path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Close closes every file handle the Dir handed out.
+func (d *FileDir) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var err error
+	for name, s := range d.open {
+		if cerr := s.Close(); err == nil {
+			err = cerr
+		}
+		delete(d.open, name)
+	}
+	return err
+}

@@ -6,50 +6,64 @@ import (
 	"time"
 )
 
-// gatedStore blocks Sync until released, so tests can deterministically
-// pile waiters onto the flush queue while the leader's first device sync
-// is in flight.
-type gatedStore struct {
-	*MemStore
+// gatedDir blocks every device Sync until released, so tests can
+// deterministically pile waiters onto the flush queue while the leader's
+// first device sync is in flight.
+type gatedDir struct {
+	*MemDir
 	mu      sync.Mutex
-	armed   bool // NewLog itself syncs (header write); gate only after setup
+	armed   bool // NewLog itself syncs (init writes); gate only after setup
 	syncs   int
 	gate    chan struct{} // each armed Sync receives once from here
 	entered chan struct{} // signaled when an armed Sync starts waiting
 }
 
-func newGatedStore() *gatedStore {
-	return &gatedStore{
-		MemStore: NewMemStore(),
-		gate:     make(chan struct{}),
-		entered:  make(chan struct{}, 16),
+func newGatedDir() *gatedDir {
+	return &gatedDir{
+		MemDir:  NewMemDir(),
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 16),
 	}
 }
 
-func (s *gatedStore) arm() {
-	s.mu.Lock()
-	s.armed = true
-	s.mu.Unlock()
+func (d *gatedDir) arm() {
+	d.mu.Lock()
+	d.armed = true
+	d.mu.Unlock()
 }
 
-func (s *gatedStore) Sync() error {
-	s.mu.Lock()
-	armed := s.armed
+func (d *gatedDir) Open(name string) (Store, error) {
+	s, err := d.MemDir.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gatedDev{Store: s, dir: d}, nil
+}
+
+func (d *gatedDir) syncCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncs
+}
+
+type gatedDev struct {
+	Store
+	dir *gatedDir
+}
+
+func (s *gatedDev) Sync() error {
+	d := s.dir
+	d.mu.Lock()
+	armed := d.armed
 	if armed {
-		s.syncs++
+		d.syncs++
 	}
-	s.mu.Unlock()
+	d.mu.Unlock()
 	if armed {
-		s.entered <- struct{}{}
-		<-s.gate
+		d.entered <- struct{}{}
+		<-d.gate
 	}
-	return s.MemStore.Sync()
-}
-
-func (s *gatedStore) syncCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.syncs
+	return s.Store.Sync()
 }
 
 func TestFlushAsyncSingleWaiter(t *testing.T) {
@@ -89,16 +103,16 @@ func TestFlushAsyncAlreadyDurable(t *testing.T) {
 // sync must cover every queued waiter, giving exactly 2 device syncs for
 // N+1 requests.
 func TestFlushAsyncCoalesces(t *testing.T) {
-	store := newGatedStore()
-	l, err := NewLog(store)
+	dir := newGatedDir()
+	l, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	store.arm()
+	dir.arm()
 
 	first := mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: 1})
 	ch0 := l.FlushAsync(first)
-	<-store.entered // leader is now blocked inside Sync for LSN `first`
+	<-dir.entered // leader is now blocked inside Sync for LSN `first`
 
 	const extra = 5
 	chans := make([]<-chan error, 0, extra)
@@ -115,12 +129,12 @@ func TestFlushAsyncCoalesces(t *testing.T) {
 		}
 	}
 
-	store.gate <- struct{}{} // release sync #1 (covers only `first`)
+	dir.gate <- struct{}{} // release sync #1 (covers only `first`)
 	if err := <-ch0; err != nil {
 		t.Fatalf("first waiter: %v", err)
 	}
-	<-store.entered          // leader started sync #2 for the max queued LSN
-	store.gate <- struct{}{} // release it
+	<-dir.entered          // leader started sync #2 for the max queued LSN
+	dir.gate <- struct{}{} // release it
 	for i, ch := range chans {
 		select {
 		case err := <-ch:
@@ -132,7 +146,7 @@ func TestFlushAsyncCoalesces(t *testing.T) {
 		}
 	}
 
-	if got := store.syncCount(); got != 2 {
+	if got := dir.syncCount(); got != 2 {
 		t.Fatalf("device syncs = %d, want 2 (one per batch)", got)
 	}
 	st := l.Stats()

@@ -1,10 +1,8 @@
 package wal
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"sync"
 	"time"
 
@@ -44,6 +42,11 @@ type AccessStats struct {
 	// budget was exhausted (or the error was marked ErrNoRetry).
 	FlushRetries uint64
 	FlushErrors  uint64
+	// Rotations counts segment rotations (a fresh segment image opened
+	// because the active one reached the segment cap); Archives the
+	// Archive calls that advanced the base.
+	Rotations uint64
+	Archives  uint64
 }
 
 // Sub returns the element-wise difference s - o.
@@ -61,6 +64,8 @@ func (s AccessStats) Sub(o AccessStats) AccessStats {
 		FlushWaiters:    s.FlushWaiters - o.FlushWaiters,
 		FlushRetries:    s.FlushRetries - o.FlushRetries,
 		FlushErrors:     s.FlushErrors - o.FlushErrors,
+		Rotations:       s.Rotations - o.Rotations,
+		Archives:        s.Archives - o.Archives,
 	}
 }
 
@@ -91,45 +96,58 @@ var ErrRewriteSizeChanged = errors.New("wal: rewrite changed record size")
 // errors, by contrast, are treated as possibly transient and retried.
 var ErrNoRetry = errors.New("wal: device error is not retriable")
 
-// logMagic heads the stable device, followed by the base LSN (the number
-// of records discarded by Archive); record frames follow.
-const logMagic uint32 = 0x57414C31 // "WAL1"
+// ErrLogCrashed is the sentinel wrapped into every OnDurable failure
+// delivery caused by (*Log).Crash: the registered record's durability
+// was still pending when the log instance went down, so no completion
+// will ever follow.  Callers match it with errors.Is to distinguish a
+// crash (the durable log alone decides the record's fate at recovery)
+// from a live device refusing a flush (the record is NOT durable and
+// the caller must act on that).
+var ErrLogCrashed = errors.New("wal: log crashed")
 
-const logHeaderSize = 12
-
-// HeaderSize is the size in bytes of the stable-device header (magic +
-// base LSN) that precedes the first record frame.  Tools that decode a
-// raw device image directly — the fault injector, the torture harness —
-// skip this prefix and then read record frames with DecodeRecord.
-const HeaderSize = logHeaderSize
+// LogOptions tunes a Log at construction time.
+type LogOptions struct {
+	// SegmentBytes is the rotation threshold: once the active segment
+	// holds at least this many record bytes, the next Append seals it
+	// and opens a fresh segment.  0 means DefaultSegmentBytes.  A single
+	// record larger than the threshold still fits — rotation happens
+	// between records, so the cap is soft by up to one record.
+	SegmentBytes int64
+}
 
 // Log is the write-ahead log.  It is safe for concurrent use.
 //
-// Volatile state: all appended records live in an in-memory buffer and a
-// decoded cache.  Durable state: Flush copies encoded bytes to the Store.
-// Crash discards everything past the last flush and re-opens from the
-// Store, exactly as a real system loses its in-memory log tail.
+// Volatile state: all appended records live in per-segment in-memory
+// buffers and decoded caches.  Durable state: the log's directory holds
+// one append-only image per segment plus a generation-numbered manifest
+// (see manifest.go); Flush copies encoded bytes to the segment devices
+// in LSN order.  Crash discards everything past the last flush and
+// re-opens from the directory, exactly as a real system loses its
+// in-memory log tail.
 //
-// Archive discards a stable prefix of the log (records the engine proved
-// no future recovery can need — see core.MinRequiredLSN), compacting both
-// the volatile image and the device; archived LSNs answer ErrArchived.
+// Appending past the segment cap rotates: the active segment is sealed
+// and a fresh one (with its own device) becomes the append target, the
+// manifest being rewritten — as a new generation, never in place — to
+// list it.  Archive discards a stable prefix of the log (records the
+// engine proved no future recovery can need — see core.MinRequiredLSN)
+// by bumping the manifest's base and deleting whole sealed segment
+// files; archived LSNs answer ErrArchived.
 type Log struct {
-	mu    sync.Mutex
-	store Store
+	mu  sync.Mutex
+	dir Dir
 
-	base    LSN    // records 1..base have been archived
-	data    []byte // encoded records, volatile image (prefix mirrored in store)
-	offsets []int  // offsets[i] = byte offset (in data) of record base+i+1
-	cache   []*Record
+	segCap      int64
+	segs        []*segment // live segments, ascending; last is the append target
+	base        LSN        // records 1..base have been archived
+	manifestGen uint64     // generation of the authoritative manifest image
 
-	flushedBytes int64 // bytes of data durably mirrored (excluding header)
-	flushedLSN   LSN
+	flushedLSN LSN // durable horizon
 
 	// Group-flush state (see FlushAsync).  flushQ holds pending waiters;
 	// flushLeader is true while a leader goroutine is draining the queue;
 	// flushInFlight is true while the leader has released mu for device
 	// I/O — every other device writer (Flush, Rewrite, Archive, Crash via
-	// loadFromStore) must wait for it via flushIdle.
+	// loadFromDir) must wait for it via flushIdle.
 	flushQ        []flushWaiter
 	flushLeader   bool
 	flushInFlight bool
@@ -158,6 +176,42 @@ type Log struct {
 	met         logMetrics
 }
 
+// segment is one live log segment: a device image plus the volatile
+// mirror of its record bytes.  Records firstLSN..firstLSN+len(offsets)-1
+// live here; data holds their frames (the durable prefix mirrored on dev
+// after the segment header).
+type segment struct {
+	num      uint64
+	firstLSN LSN
+	dev      Store
+
+	data    []byte // encoded frames, volatile image
+	offsets []int  // offsets[i] = byte offset (in data) of record firstLSN+i
+	cache   []*Record
+
+	flushedBytes int64 // bytes of data durably mirrored (excluding header)
+}
+
+// lastLSN returns the LSN of the segment's last record (firstLSN-1 when
+// empty, so callers can treat it uniformly as "records through lastLSN").
+func (s *segment) lastLSN() LSN { return s.firstLSN + LSN(len(s.offsets)) - 1 }
+
+// SegmentInfo describes one live segment; see (*Log).Segments.
+type SegmentInfo struct {
+	// Name is the device name inside the log's Dir.
+	Name string
+	// Num is the segment number; FirstLSN the LSN of its first record.
+	Num      uint64
+	FirstLSN LSN
+	// Records is the number of records in the segment (volatile image);
+	// Bytes their encoded size, DurableBytes the durable prefix of it.
+	Records      int
+	Bytes        int64
+	DurableBytes int64
+	// Sealed reports that the segment is no longer the append target.
+	Sealed bool
+}
+
 // logMetrics holds the log's pre-resolved obs handles.  A fresh Log binds
 // them to a private registry so they are never nil; the owning engine
 // rebinds them to its own registry via Instrument.
@@ -173,6 +227,8 @@ type logMetrics struct {
 	reads          *obs.Counter
 	scans          *obs.Counter
 	archives       *obs.Counter
+	rotations      *obs.Counter
+	segments       *obs.Gauge
 	rewrites       *obs.Counter
 	flushNs        *obs.Histogram
 }
@@ -190,6 +246,8 @@ func bindLogMetrics(r *obs.Registry) logMetrics {
 		reads:          r.Counter("wal.reads"),
 		scans:          r.Counter("wal.scans"),
 		archives:       r.Counter("wal.archives"),
+		rotations:      r.Counter("wal.rotations"),
+		segments:       r.Gauge("wal.segments"),
 		rewrites:       r.Counter("wal.rewrites"),
 		flushNs:        r.Histogram("wal.flush_ns"),
 	}
@@ -202,6 +260,7 @@ func (l *Log) Instrument(reg *obs.Registry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.met = bindLogMetrics(reg)
+	l.met.segments.Set(int64(len(l.segs)))
 }
 
 // flushWaiter is one FlushAsync request: release ch (with nil or an
@@ -219,11 +278,19 @@ type durableCB struct {
 	fn   func(error)
 }
 
-// NewLog creates a log on top of store, recovering any records already
-// present on the device (e.g. after a crash or a process restart).
-func NewLog(store Store) (*Log, error) {
+// NewLog creates a log over dir with default options, recovering any
+// segments already present (e.g. after a crash or a process restart).
+func NewLog(dir Dir) (*Log, error) { return NewLogWith(dir, LogOptions{}) }
+
+// NewLogWith creates a log over dir with the given options, recovering
+// any segments already present.
+func NewLogWith(dir Dir, o LogOptions) (*Log, error) {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
 	l := &Log{
-		store:        store,
+		dir:          dir,
+		segCap:       o.SegmentBytes,
 		met:          bindLogMetrics(obs.NewRegistry()),
 		retryMax:     defaultFlushRetries,
 		retryBackoff: defaultFlushBackoff,
@@ -231,7 +298,7 @@ func NewLog(store Store) (*Log, error) {
 	l.flushIdle = sync.NewCond(&l.mu)
 	l.tailCond = sync.NewCond(&l.mu)
 	l.subs = make(map[*Subscription]struct{})
-	if err := l.loadFromStore(); err != nil {
+	if err := l.loadFromDir(); err != nil {
 		return nil, err
 	}
 	return l, nil
@@ -261,19 +328,19 @@ func (l *Log) SetFlushRetryPolicy(retries int, backoff time.Duration) {
 	l.retryBackoff = backoff
 }
 
-// writeSyncRetry performs the device write+Sync for a flush, retrying
+// writeSyncRetry performs a device write+Sync for a flush, retrying
 // transient failures per the retry policy.  It returns the number of
 // retries performed and the final error (nil on success).  Errors
 // wrapping ErrNoRetry are surfaced immediately.  The caller must hold
 // the device (either l.mu on the synchronous path, or the flushInFlight
 // fence on the group path); sleeping inside the loop is bounded by the
 // policy.
-func (l *Log) writeSyncRetry(buf []byte, off int64) (retries int, err error) {
+func (l *Log) writeSyncRetry(dev Store, buf []byte, off int64) (retries int, err error) {
 	backoff := l.retryBackoff
 	for attempt := 0; ; attempt++ {
-		_, err = l.store.WriteAt(buf, off)
+		_, err = dev.WriteAt(buf, off)
 		if err == nil {
-			err = l.store.Sync()
+			err = dev.Sync()
 		}
 		if err == nil {
 			return attempt, nil
@@ -295,108 +362,152 @@ func (l *Log) waitFlushIdleLocked() {
 	}
 }
 
-// writeHeader persists the device header (magic + base LSN).
-func (l *Log) writeHeader() error {
-	var hdr [logHeaderSize]byte
-	binary.LittleEndian.PutUint32(hdr[0:], logMagic)
-	binary.LittleEndian.PutUint64(hdr[4:], uint64(l.base))
-	if _, err := l.store.WriteAt(hdr[:], 0); err != nil {
-		return fmt.Errorf("wal: write header: %w", err)
-	}
-	return l.store.Sync()
+// headLocked returns the LSN of the most recently appended record.
+func (l *Log) headLocked() LSN {
+	return l.segs[len(l.segs)-1].lastLSN()
 }
 
-// loadFromStore scans the stable device and rebuilds the volatile image.
-// A torn final frame (possible with a real file after a true crash) is
-// truncated away rather than reported as corruption.
-func (l *Log) loadFromStore() error {
-	size, err := l.store.Size()
+// segIndexLocked returns the index of the segment holding lsn, or -1 if
+// lsn precedes the first live segment.  The returned segment may not
+// actually contain lsn (it may lie past the head); callers bound-check.
+func (l *Log) segIndexLocked(lsn LSN) int {
+	lo, hi := 0, len(l.segs)-1
+	if lsn < l.segs[0].firstLSN {
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if l.segs[mid].firstLSN <= lsn {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// recordAtLocked returns the cached record at lsn, or nil if no live
+// segment holds it.  No access stats are recorded.
+func (l *Log) recordAtLocked(lsn LSN) *Record {
+	if lsn == NilLSN {
+		return nil
+	}
+	i := l.segIndexLocked(lsn)
+	if i < 0 {
+		return nil
+	}
+	seg := l.segs[i]
+	idx := int(lsn - seg.firstLSN)
+	if idx < 0 || idx >= len(seg.cache) {
+		return nil
+	}
+	return seg.cache[idx]
+}
+
+// writeManifestLocked persists a fresh manifest generation listing
+// entries with the given base, then makes it authoritative.  The write
+// is crash-atomic by construction: the new generation's image is
+// written whole to its own device and synced; until that sync returns,
+// the previous generation remains the one recovery picks.  Only on
+// success is the in-memory generation bumped and the old image removed
+// (best-effort — a stray old generation is cleaned up at next open).
+func (l *Log) writeManifestLocked(base LSN, entries []manifestEntry) error {
+	gen := l.manifestGen + 1
+	dev, err := l.dir.Open(manifestName(gen))
 	if err != nil {
-		return fmt.Errorf("wal: size: %w", err)
+		return fmt.Errorf("wal: manifest: %w", err)
 	}
-	l.base = 0
-	if size == 0 {
-		// Fresh device: stamp the header.
-		l.data = l.data[:0]
-		l.offsets = l.offsets[:0]
-		l.cache = l.cache[:0]
-		l.flushedBytes = 0
-		l.flushedLSN = 0
-		return l.writeHeader()
+	buf := encodeManifest(&manifest{gen: gen, base: base, segs: entries})
+	// A previous failed attempt may have left longer working bytes on
+	// this generation's device; truncate so the image is exactly buf.
+	if err := dev.Truncate(0); err != nil {
+		return fmt.Errorf("wal: manifest truncate: %w", err)
 	}
-	if size < logHeaderSize {
-		return fmt.Errorf("%w: device smaller than the log header", ErrCorrupt)
+	if _, err := dev.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("wal: manifest write: %w", err)
 	}
-	var hdr [logHeaderSize]byte
-	if _, err := l.store.ReadAt(hdr[:], 0); err != nil {
-		return fmt.Errorf("wal: read header: %w", err)
+	if err := dev.Sync(); err != nil {
+		return fmt.Errorf("wal: manifest sync: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != logMagic {
-		return fmt.Errorf("%w: bad log magic", ErrCorrupt)
+	old := l.manifestGen
+	l.manifestGen = gen
+	if old > 0 {
+		_ = l.dir.Remove(manifestName(old))
 	}
-	l.base = LSN(binary.LittleEndian.Uint64(hdr[4:]))
-	body := size - logHeaderSize
-	data := make([]byte, body)
-	if body > 0 {
-		if _, err := io.ReadFull(io.NewSectionReader(l.store, logHeaderSize, body), data); err != nil {
-			return fmt.Errorf("wal: read: %w", err)
-		}
+	return nil
+}
+
+// manifestEntriesLocked builds the manifest entry list for segs.
+func manifestEntries(segs []*segment) []manifestEntry {
+	entries := make([]manifestEntry, len(segs))
+	for i, s := range segs {
+		entries[i] = manifestEntry{num: s.num, firstLSN: s.firstLSN}
 	}
-	l.data = l.data[:0]
-	l.offsets = l.offsets[:0]
-	l.cache = l.cache[:0]
-	off := 0
-	for off < len(data) {
-		r, n, err := DecodeRecord(data[off:])
-		if err != nil {
-			if errors.Is(err, ErrTruncated) {
-				// Torn tail — the frame runs past the end of the
-				// device, the expected signature of a crash mid
-				// write.  Keep the valid prefix.
-				break
-			}
-			// A complete frame that fails its checksum (or is
-			// structurally bad) is interior corruption — bit rot
-			// or tampering, not a torn write.  Refusing to open is
-			// the only safe answer: silently truncating here would
-			// discard committed history after the bad frame.
-			return fmt.Errorf("wal: interior corruption at byte %d: %w", off, err)
-		}
-		l.offsets = append(l.offsets, off)
-		l.cache = append(l.cache, r)
-		off += n
+	return entries
+}
+
+// rotateLocked seals the active segment and opens a fresh one as the
+// append target: new device, durable segment header, then a manifest
+// generation listing it.  On any failure the volatile log is untouched
+// (the append that triggered the rotation fails) and the partially
+// created device is removed best-effort — recovery ignores and deletes
+// segments the manifest does not list.
+func (l *Log) rotateLocked() error {
+	head := l.headLocked()
+	num := l.segs[len(l.segs)-1].num + 1
+	name := segmentName(num)
+	dev, err := l.dir.Open(name)
+	if err != nil {
+		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	l.data = append(l.data, data[:off]...)
-	l.flushedBytes = int64(off)
-	l.flushedLSN = l.base + LSN(len(l.offsets))
-	if int64(off) != body {
-		if err := l.store.Truncate(logHeaderSize + int64(off)); err != nil {
-			return fmt.Errorf("wal: truncate torn tail: %w", err)
-		}
+	hdr := encodeSegmentHeader(segmentHeader{num: num, firstLSN: head + 1})
+	if _, err := dev.WriteAt(hdr, 0); err != nil {
+		_ = l.dir.Remove(name)
+		return fmt.Errorf("wal: rotate: %w", err)
 	}
-	// Sanity: LSNs must be dense above the base.
-	for i, r := range l.cache {
-		if r.LSN != l.base+LSN(i+1) {
-			return fmt.Errorf("%w: record %d carries LSN %d", ErrCorrupt, int(l.base)+i+1, r.LSN)
-		}
+	if err := dev.Sync(); err != nil {
+		_ = l.dir.Remove(name)
+		return fmt.Errorf("wal: rotate: %w", err)
+	}
+	entries := append(manifestEntries(l.segs), manifestEntry{num: num, firstLSN: head + 1})
+	if err := l.writeManifestLocked(l.base, entries); err != nil {
+		_ = l.dir.Remove(name)
+		return err
+	}
+	l.segs = append(l.segs, &segment{num: num, firstLSN: head + 1, dev: dev})
+	l.stats.Rotations++
+	l.met.rotations.Inc()
+	l.met.segments.Set(int64(len(l.segs)))
+	if l.met.reg.HasEventHook() {
+		l.met.reg.Emit(obs.Event{Name: "wal.rotate", LSN: uint64(head + 1), Value: int64(num)})
 	}
 	return nil
 }
 
 // Append assigns the next LSN to r, encodes it and appends it to the
-// volatile log image.  The record is not durable until Flush (or a flush
-// forced by commit processing) covers it.
+// active segment's volatile image, rotating to a fresh segment first if
+// the active one has reached the segment cap.  The record is not durable
+// until Flush (or a flush forced by commit processing) covers it.  A
+// rotation failure (the new segment's header or the manifest could not
+// be made durable) surfaces here with the volatile log unchanged.
 func (l *Log) Append(r *Record) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	r.LSN = l.base + LSN(len(l.offsets)+1)
+	active := l.segs[len(l.segs)-1]
+	if int64(len(active.data)) >= l.segCap && len(active.offsets) > 0 {
+		if err := l.rotateLocked(); err != nil {
+			return NilLSN, err
+		}
+		active = l.segs[len(l.segs)-1]
+	}
+	r.LSN = l.headLocked() + 1
 	enc, err := EncodeRecord(r)
 	if err != nil {
 		return NilLSN, err
 	}
-	l.offsets = append(l.offsets, len(l.data))
-	l.data = append(l.data, enc...)
-	l.cache = append(l.cache, r.clone())
+	active.offsets = append(active.offsets, len(active.data))
+	active.data = append(active.data, enc...)
+	active.cache = append(active.cache, r.clone())
 	l.stats.Appends++
 	l.met.appends.Inc()
 	return r.LSN, nil
@@ -407,7 +518,7 @@ func (l *Log) Append(r *Record) (LSN, error) {
 func (l *Log) Head() LSN {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.base + LSN(len(l.offsets))
+	return l.headLocked()
 }
 
 // Base returns the highest archived LSN (NilLSN if nothing was archived).
@@ -424,14 +535,34 @@ func (l *Log) FlushedLSN() LSN {
 	return l.flushedLSN
 }
 
+// Segments returns a snapshot of the live segment layout, oldest first.
+func (l *Log) Segments() []SegmentInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SegmentInfo, len(l.segs))
+	for i, s := range l.segs {
+		out[i] = SegmentInfo{
+			Name:         segmentName(s.num),
+			Num:          s.num,
+			FirstLSN:     s.firstLSN,
+			Records:      len(s.offsets),
+			Bytes:        int64(len(s.data)),
+			DurableBytes: s.flushedBytes,
+			Sealed:       i < len(l.segs)-1,
+		}
+	}
+	return out
+}
+
 // OnDurable registers fn to be invoked exactly once: with nil after
 // every record with LSN ≤ upTo reaches stable storage, or with a non-nil
 // error when this log instance stops advancing toward it (a failed flush
-// round, or a crash that discards the volatile tail).  fn runs on its
-// own goroutine, so it may take arbitrary locks and re-enter the log.
-// An error delivery does not by itself say whether the records survived
-// — only that no completion will follow; the registrant must re-validate
-// against durable state (FlushedLSN, or post-recovery analysis).
+// round, or a crash — matching ErrLogCrashed — that discards the
+// volatile tail).  fn runs on its own goroutine, so it may take
+// arbitrary locks and re-enter the log.  An error delivery does not by
+// itself say whether the records survived — only that no completion will
+// follow; the registrant must re-validate against durable state
+// (FlushedLSN, or post-recovery analysis).
 //
 // This is the commit-pipelining hook for early lock release: the engine
 // registers the post-durability work of a commit (clearing violable lock
@@ -450,7 +581,7 @@ func (l *Log) OnDurable(upTo LSN, fn func(error)) {
 
 // runDurableCBsLocked dispatches OnDurable callbacks after a flush
 // attempt: with nil for every registration the durable horizon now
-// covers, or — when the attempt failed — with err for all of them (a
+// covers, and — when the attempt failed — with err for all remaining (a
 // registrant always has a matching flush in flight, so the failed round
 // is the one that was meant to cover it).  Callbacks run on fresh
 // goroutines; dispatching under l.mu is therefore deadlock-free even
@@ -459,48 +590,104 @@ func (l *Log) runDurableCBsLocked(err error) {
 	if len(l.durableCBs) == 0 {
 		return
 	}
-	if err != nil {
-		for _, cb := range l.durableCBs {
-			go cb.fn(err)
-		}
-		l.durableCBs = nil
-		return
-	}
 	rest := l.durableCBs[:0]
 	for _, cb := range l.durableCBs {
-		if cb.upTo <= l.flushedLSN {
+		switch {
+		case cb.upTo <= l.flushedLSN:
 			go cb.fn(nil)
-		} else {
+		case err != nil:
+			go cb.fn(err)
+		default:
 			rest = append(rest, cb)
 		}
 	}
 	l.durableCBs = rest
+	if err != nil {
+		l.durableCBs = nil
+	}
+}
+
+// flushChunk is one contiguous device write of a flush: bytes
+// [start,end) of seg.data, which once synced advance the durable
+// horizon to endLSN.
+type flushChunk struct {
+	seg    *segment
+	start  int64
+	end    int64
+	endLSN LSN
+}
+
+// flushChunksLocked plans the device writes that make records through
+// upTo durable: one chunk per segment with unflushed bytes in the range,
+// in LSN order.  The caller guarantees flushedLSN < upTo ≤ head.
+func (l *Log) flushChunksLocked(upTo LSN) []flushChunk {
+	var chunks []flushChunk
+	i := l.segIndexLocked(l.flushedLSN + 1)
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(l.segs); i++ {
+		seg := l.segs[i]
+		if seg.firstLSN > upTo {
+			break
+		}
+		var end int64
+		var endLSN LSN
+		if upTo >= seg.lastLSN() {
+			end = int64(len(seg.data))
+			endLSN = seg.lastLSN()
+		} else {
+			end = int64(seg.offsets[upTo-seg.firstLSN+1])
+			endLSN = upTo
+		}
+		if end > seg.flushedBytes {
+			chunks = append(chunks, flushChunk{seg: seg, start: seg.flushedBytes, end: end, endLSN: endLSN})
+		}
+	}
+	return chunks
 }
 
 // Flush makes all records with LSN ≤ upTo durable.  Flushing past the head
 // flushes the whole log.  Transient device errors are retried per the
-// flush retry policy; an error return means the records are NOT durable
-// and the durable horizon is unchanged.
+// flush retry policy; an error return means records past the (possibly
+// advanced) durable horizon are NOT durable.  Chunks are written and
+// synced in strict LSN order — segment by segment — so the durable log
+// is always a prefix: a failure mid-way leaves earlier segments durable
+// and later ones untouched, never a gap.
 func (l *Log) Flush(upTo LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.waitFlushIdleLocked()
-	if head := l.base + LSN(len(l.offsets)); upTo > head {
+	if head := l.headLocked(); upTo > head {
 		upTo = head
 	}
 	if upTo <= l.flushedLSN {
 		return nil
 	}
-	var end int64
-	if int(upTo-l.base) == len(l.offsets) {
-		end = int64(len(l.data))
-	} else {
-		end = int64(l.offsets[upTo-l.base]) // offset of the record after upTo
-	}
+	chunks := l.flushChunksLocked(upTo)
 	start := time.Now()
-	retries, err := l.writeSyncRetry(l.data[l.flushedBytes:end], logHeaderSize+l.flushedBytes)
-	l.stats.FlushRetries += uint64(retries)
-	l.met.flushRetries.Add(uint64(retries))
+	var flushed uint64
+	var err error
+	for _, c := range chunks {
+		retries, werr := l.writeSyncRetry(c.seg.dev, c.seg.data[c.start:c.end], segmentHeaderSize+c.start)
+		l.stats.FlushRetries += uint64(retries)
+		l.met.flushRetries.Add(uint64(retries))
+		if werr != nil {
+			err = werr
+			break
+		}
+		c.seg.flushedBytes = c.end
+		l.flushedLSN = c.endLSN
+		flushed += uint64(c.end - c.start)
+	}
+	if flushed > 0 {
+		l.stats.Flushes++
+		l.stats.FlushedBytes += flushed
+		l.met.flushes.Inc()
+		l.met.flushedBytes.Add(flushed)
+		l.met.flushNs.Observe(time.Since(start))
+		l.tailCond.Broadcast()
+	}
 	if err != nil {
 		l.stats.FlushErrors++
 		l.met.flushErrors.Inc()
@@ -508,15 +695,7 @@ func (l *Log) Flush(upTo LSN) error {
 		l.runDurableCBsLocked(err)
 		return err
 	}
-	l.stats.Flushes++
-	l.stats.FlushedBytes += uint64(end - l.flushedBytes)
-	l.met.flushes.Inc()
-	l.met.flushedBytes.Add(uint64(end - l.flushedBytes))
-	l.met.flushNs.Observe(time.Since(start))
-	l.flushedBytes = end
-	l.flushedLSN = upTo
 	l.runDurableCBsLocked(nil)
-	l.tailCond.Broadcast()
 	return nil
 }
 
@@ -534,7 +713,7 @@ func (l *Log) Flush(upTo LSN) error {
 func (l *Log) FlushAsync(upTo LSN) <-chan error {
 	ch := make(chan error, 1)
 	l.mu.Lock()
-	if head := l.base + LSN(len(l.offsets)); upTo > head {
+	if head := l.headLocked(); upTo > head {
 		upTo = head
 	}
 	if upTo <= l.flushedLSN {
@@ -554,11 +733,11 @@ func (l *Log) FlushAsync(upTo LSN) <-chan error {
 }
 
 // groupFlushLoop is the group-commit leader.  Each round it targets the
-// highest LSN queued, performs one device write+Sync for the whole range
-// (releasing l.mu for the I/O), then releases every waiter the new durable
-// horizon covers.  Requests arriving during the I/O join the next round.
-// The leader exits when the queue drains; the next FlushAsync elects a new
-// one.
+// highest LSN queued, performs one device write+Sync pass for the whole
+// range (releasing l.mu for the I/O), then releases every waiter the new
+// durable horizon covers.  Requests arriving during the I/O join the next
+// round.  The leader exits when the queue drains; the next FlushAsync
+// elects a new one.
 func (l *Log) groupFlushLoop() {
 	l.mu.Lock()
 	for len(l.flushQ) > 0 {
@@ -572,14 +751,14 @@ func (l *Log) groupFlushLoop() {
 		// waiter's target (the record was lost with the volatile tail):
 		// clamp, and release such waiters below — the engine's crashed
 		// flag, rechecked by every committer, governs their fate.
-		head := l.base + LSN(len(l.offsets))
+		head := l.headLocked()
 		if target > head {
 			target = head
 		}
 		var err error
 		if target > l.flushedLSN {
 			err = l.flushRangeUnlatched(target)
-			head = l.base + LSN(len(l.offsets))
+			head = l.headLocked()
 		}
 		l.runDurableCBsLocked(err)
 		queued := len(l.flushQ)
@@ -606,46 +785,70 @@ func (l *Log) groupFlushLoop() {
 }
 
 // flushRangeUnlatched makes records through upTo durable while allowing
-// appends to proceed: the unflushed range is copied to a scratch buffer
-// under l.mu, the mutex is released for the device write+Sync (with
-// flushInFlight fencing out every other device writer), then re-acquired to
-// publish the new durable horizon.  Called only by the group-flush leader
-// with l.mu held and upTo ≤ head.
+// appends to proceed: the unflushed chunks are copied to a scratch buffer
+// under l.mu, the mutex is released for the device writes+Syncs (with
+// flushInFlight fencing out every other device writer), then re-acquired
+// to publish the new durable horizon.  Rotation during the unlatched I/O
+// is safe — it only creates new devices, never touching the chunks being
+// written.  Called only by the group-flush leader with l.mu held and
+// upTo ≤ head.
 func (l *Log) flushRangeUnlatched(upTo LSN) error {
-	var end int64
-	if int(upTo-l.base) == len(l.offsets) {
-		end = int64(len(l.data))
-	} else {
-		end = int64(l.offsets[upTo-l.base])
+	chunks := l.flushChunksLocked(upTo)
+	if len(chunks) == 0 {
+		return nil
 	}
-	start := l.flushedBytes
-	l.flushScratch = append(l.flushScratch[:0], l.data[start:end]...)
-	buf := l.flushScratch
+	// Copy every chunk's bytes into one scratch buffer (appends may grow
+	// and reallocate segment data while the mutex is released).
+	scratch := l.flushScratch[:0]
+	offs := make([]int, len(chunks)+1)
+	for i, c := range chunks {
+		scratch = append(scratch, c.seg.data[c.start:c.end]...)
+		offs[i+1] = len(scratch)
+	}
+	l.flushScratch = scratch
 	l.flushInFlight = true
 	l.mu.Unlock()
 	began := time.Now()
-	retries, err := l.writeSyncRetry(buf, logHeaderSize+start)
+	var err error
+	var retries int
+	done := 0
+	for i, c := range chunks {
+		var r int
+		r, err = l.writeSyncRetry(c.seg.dev, scratch[offs[i]:offs[i+1]], segmentHeaderSize+c.start)
+		retries += r
+		if err != nil {
+			break
+		}
+		done = i + 1
+	}
 	took := time.Since(began)
 	l.mu.Lock()
 	l.flushInFlight = false
 	l.flushIdle.Broadcast()
 	l.stats.FlushRetries += uint64(retries)
 	l.met.flushRetries.Add(uint64(retries))
+	var flushed uint64
+	for _, c := range chunks[:done] {
+		c.seg.flushedBytes = c.end
+		l.flushedLSN = c.endLSN
+		flushed += uint64(c.end - c.start)
+	}
+	if flushed > 0 {
+		l.flushedLSN = chunks[done-1].endLSN
+		l.tailCond.Broadcast()
+		l.stats.Flushes++
+		l.stats.GroupedFlushes++
+		l.stats.FlushedBytes += flushed
+		l.met.flushes.Inc()
+		l.met.groupedFlushes.Inc()
+		l.met.flushedBytes.Add(flushed)
+		l.met.flushNs.Observe(took)
+	}
 	if err != nil {
 		l.stats.FlushErrors++
 		l.met.flushErrors.Inc()
 		return fmt.Errorf("wal: flush: %w", err)
 	}
-	l.flushedBytes = end
-	l.flushedLSN = upTo
-	l.tailCond.Broadcast()
-	l.stats.Flushes++
-	l.stats.GroupedFlushes++
-	l.stats.FlushedBytes += uint64(end - start)
-	l.met.flushes.Inc()
-	l.met.groupedFlushes.Inc()
-	l.met.flushedBytes.Add(uint64(end - start))
-	l.met.flushNs.Observe(took)
 	return nil
 }
 
@@ -665,8 +868,9 @@ func (l *Log) getLocked(lsn LSN) (*Record, error) {
 	if lsn != NilLSN && lsn <= l.base {
 		return nil, errArchived(lsn, l.base)
 	}
-	if lsn == NilLSN || int(lsn-l.base) > len(l.offsets) {
-		return nil, fmt.Errorf("%w: %d (head %d)", ErrNoSuchLSN, lsn, l.base+LSN(len(l.offsets)))
+	r := l.recordAtLocked(lsn)
+	if r == nil {
+		return nil, fmt.Errorf("%w: %d (head %d)", ErrNoSuchLSN, lsn, l.headLocked())
 	}
 	l.stats.Reads++
 	l.met.reads.Inc()
@@ -677,7 +881,7 @@ func (l *Log) getLocked(lsn LSN) (*Record, error) {
 		l.stats.RandomReads++
 	}
 	l.lastReadLSN = lsn
-	return l.cache[lsn-l.base-1], nil
+	return r, nil
 }
 
 // Scan iterates records with LSN in [from, to] in increasing order, calling
@@ -685,7 +889,7 @@ func (l *Log) getLocked(lsn LSN) (*Record, error) {
 // means "through the head of the log".
 func (l *Log) Scan(from, to LSN, fn func(*Record) (bool, error)) error {
 	l.mu.Lock()
-	head := l.base + LSN(len(l.offsets))
+	head := l.headLocked()
 	base := l.base
 	l.met.scans.Inc()
 	l.mu.Unlock()
@@ -719,10 +923,10 @@ func (l *Log) Scan(from, to LSN, fn func(*Record) (bool, error)) error {
 }
 
 // Rewrite mutates the record at lsn in place via fn and patches both the
-// volatile image and (if the record was already durable) the stable device.
-// This is the physical "rewriting of history" of the naïve baselines; the
-// ARIES/RH engine never calls it.  The mutated record must encode to the
-// same number of bytes.
+// volatile image and (if the record was already durable) the stable
+// segment device.  This is the physical "rewriting of history" of the
+// naïve baselines; the ARIES/RH engine never calls it.  The mutated
+// record must encode to the same number of bytes.
 func (l *Log) Rewrite(lsn LSN, fn func(*Record)) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -730,11 +934,16 @@ func (l *Log) Rewrite(lsn LSN, fn func(*Record)) error {
 	if lsn != NilLSN && lsn <= l.base {
 		return errArchived(lsn, l.base)
 	}
-	if lsn == NilLSN || int(lsn-l.base) > len(l.offsets) {
+	i := -1
+	if lsn != NilLSN {
+		i = l.segIndexLocked(lsn)
+	}
+	if i < 0 || int(lsn-l.segs[i].firstLSN) >= len(l.segs[i].offsets) {
 		return fmt.Errorf("%w: %d", ErrNoSuchLSN, lsn)
 	}
-	idx := int(lsn - l.base - 1)
-	r := l.cache[idx].clone()
+	seg := l.segs[i]
+	idx := int(lsn - seg.firstLSN)
+	r := seg.cache[idx].clone()
 	fn(r)
 	if r.LSN != lsn {
 		return fmt.Errorf("wal: rewrite may not change the LSN of record %d", lsn)
@@ -743,27 +952,27 @@ func (l *Log) Rewrite(lsn LSN, fn func(*Record)) error {
 	if err != nil {
 		return err
 	}
-	off := l.offsets[idx]
+	off := seg.offsets[idx]
 	var end int
-	if idx+1 == len(l.offsets) {
-		end = len(l.data)
+	if idx+1 == len(seg.offsets) {
+		end = len(seg.data)
 	} else {
-		end = l.offsets[idx+1]
+		end = seg.offsets[idx+1]
 	}
 	if len(enc) != end-off {
 		return fmt.Errorf("%w: %d -> %d bytes", ErrRewriteSizeChanged, end-off, len(enc))
 	}
-	copy(l.data[off:end], enc)
-	l.cache[idx] = r
+	copy(seg.data[off:end], enc)
+	seg.cache[idx] = r
 	l.stats.Rewrites++
 	l.met.rewrites.Inc()
-	if int64(end) <= l.flushedBytes {
+	if int64(end) <= seg.flushedBytes {
 		// The record was already stable: patch the device in place
 		// (a random write, the cost the paper's RH design avoids).
-		if _, err := l.store.WriteAt(enc, logHeaderSize+int64(off)); err != nil {
+		if _, err := seg.dev.WriteAt(enc, segmentHeaderSize+int64(off)); err != nil {
 			return fmt.Errorf("wal: rewrite flush: %w", err)
 		}
-		if err := l.store.Sync(); err != nil {
+		if err := seg.dev.Sync(); err != nil {
 			return err
 		}
 		l.stats.RewriteFlushes++
@@ -791,11 +1000,12 @@ func (l *Log) Crash() error {
 	l.closeAllSubsLocked(fmt.Errorf("%w: log crashed", ErrSubscriptionClosed))
 	// Pending durability callbacks can never complete: their records may
 	// be in the discarded tail, and even if durable, the instance they
-	// registered against is being torn down.  Deliver the failure; the
+	// registered against is being torn down.  Deliver the failure —
+	// wrapping ErrLogCrashed so registrants can errors.Is-match it; the
 	// registrant re-validates against post-recovery state.
-	l.runDurableCBsLocked(errors.New("wal: log crashed before durability"))
+	l.runDurableCBsLocked(fmt.Errorf("%w before durability", ErrLogCrashed))
 	stats := l.stats
-	if err := l.loadFromStore(); err != nil {
+	if err := l.loadFromDir(); err != nil {
 		return err
 	}
 	l.stats = stats
@@ -810,11 +1020,22 @@ func (l *Log) Stats() AccessStats {
 	return l.stats
 }
 
-// Archive discards every record with LSN ≤ upTo from both the volatile
-// image and the stable device, compacting the device in place.  Only the
-// durable prefix may be archived (upTo must not exceed the flushed LSN):
-// archiving is for reclaiming log space, not for dropping live tail.
-// Archiving more than once is fine; archiving NilLSN is a no-op.
+// Archive discards every record with LSN ≤ upTo: archived LSNs answer
+// ErrArchived and whole sealed segments below the new base are deleted
+// from the directory.  Only the durable prefix may be archived (upTo
+// must not exceed the flushed LSN): archiving is for reclaiming log
+// space, not for dropping live tail.  Archiving more than once is fine;
+// archiving NilLSN is a no-op.
+//
+// Crash contract: the archive commits by writing a fresh manifest
+// generation (new base, surviving segment list) to its own device and
+// syncing it — live segment bytes are never rewritten, so there is no
+// torn-compaction window.  A crash or error before that sync leaves the
+// previous manifest authoritative and the log (volatile and durable)
+// exactly as it was; a crash after it leaves the archive fully
+// committed, with any not-yet-deleted segment files swept as garbage on
+// the next open.  Device cost is O(segments dropped + manifest size),
+// independent of total log length.
 func (l *Log) Archive(upTo LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -830,34 +1051,31 @@ func (l *Log) Archive(upTo LSN) error {
 	if upTo > l.flushedLSN {
 		return fmt.Errorf("wal: archive through %d beyond flushed LSN %d", upTo, l.flushedLSN)
 	}
-	cut := int(upTo - l.base) // records to drop
-	var cutBytes int
-	if cut == len(l.offsets) {
-		cutBytes = len(l.data)
-	} else {
-		cutBytes = l.offsets[cut]
+	// Whole sealed segments at or below the new base are dropped; the
+	// active segment always survives.
+	drop := 0
+	for drop < len(l.segs)-1 && l.segs[drop+1].firstLSN <= upTo+1 {
+		drop++
 	}
-	l.data = append(l.data[:0], l.data[cutBytes:]...)
-	l.offsets = l.offsets[:copy(l.offsets, l.offsets[cut:])]
-	for i := range l.offsets {
-		l.offsets[i] -= cutBytes
-	}
-	l.cache = l.cache[:copy(l.cache, l.cache[cut:])]
-	l.base = upTo
-	l.flushedBytes -= int64(cutBytes)
-	l.met.archives.Inc()
-	// Compact the device: header with the new base, then the surviving
-	// stable bytes.
-	if err := l.writeHeader(); err != nil {
+	kept := l.segs[drop:]
+	// Commit point: the new manifest generation.  Nothing volatile is
+	// touched until it is durable, so a failure here leaves the log
+	// fully consistent (and the archives counter untouched).
+	if err := l.writeManifestLocked(upTo, manifestEntries(kept)); err != nil {
 		return err
 	}
-	if _, err := l.store.WriteAt(l.data[:l.flushedBytes], logHeaderSize); err != nil {
-		return fmt.Errorf("wal: archive compact: %w", err)
+	dropped := l.segs[:drop]
+	l.segs = append(l.segs[:0:0], kept...)
+	l.base = upTo
+	l.stats.Archives++
+	l.met.archives.Inc()
+	l.met.segments.Set(int64(len(l.segs)))
+	for _, s := range dropped {
+		// Best-effort: a segment file that cannot be deleted now is
+		// unreferenced by the manifest and is swept at the next open.
+		_ = l.dir.Remove(segmentName(s.num))
 	}
-	if err := l.store.Truncate(logHeaderSize + l.flushedBytes); err != nil {
-		return fmt.Errorf("wal: archive truncate: %w", err)
-	}
-	return l.store.Sync()
+	return nil
 }
 
 // ResetReadCursor forgets the sequential-access cursor; passes that want

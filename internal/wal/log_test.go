@@ -19,11 +19,22 @@ func mustAppend(t *testing.T, l *Log, r *Record) LSN {
 
 func newMemLog(t *testing.T) *Log {
 	t.Helper()
-	l, err := NewLog(NewMemStore())
+	l, err := NewLog(NewMemDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	return l
+}
+
+// activeSegmentDev returns the device of the log's append-target segment.
+func activeSegmentDev(t *testing.T, dir Dir, l *Log) Store {
+	t.Helper()
+	segs := l.Segments()
+	dev, err := dir.Open(segs[len(segs)-1].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
 }
 
 func TestLogAppendAssignsDenseLSNs(t *testing.T) {
@@ -102,9 +113,9 @@ func TestLogFlushPastHeadFlushesAll(t *testing.T) {
 	}
 }
 
-func TestLogReopenFromStore(t *testing.T) {
-	store := NewMemStore()
-	l, err := NewLog(store)
+func TestLogReopenFromDir(t *testing.T) {
+	dir := NewMemDir()
+	l, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +124,7 @@ func TestLogReopenFromStore(t *testing.T) {
 	if err := l.Flush(2); err != nil {
 		t.Fatal(err)
 	}
-	l2, err := NewLog(store)
+	l2, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,8 +141,8 @@ func TestLogReopenFromStore(t *testing.T) {
 }
 
 func TestLogTornTailTruncated(t *testing.T) {
-	store := NewMemStore()
-	l, err := NewLog(store)
+	dir := NewMemDir()
+	l, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,12 +151,13 @@ func TestLogTornTailTruncated(t *testing.T) {
 	if err := l.Flush(2); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a torn write: chop bytes off the stable tail.
-	size, _ := store.Size()
-	if err := store.Truncate(size - 3); err != nil {
+	// Simulate a torn write: chop bytes off the active segment's tail.
+	dev := activeSegmentDev(t, dir, l)
+	size, _ := dev.Size()
+	if err := dev.Truncate(size - 3); err != nil {
 		t.Fatal(err)
 	}
-	l2, err := NewLog(store)
+	l2, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,8 +215,8 @@ func TestLogRewrite(t *testing.T) {
 }
 
 func TestLogRewriteStablePatchesDevice(t *testing.T) {
-	store := NewMemStore()
-	l, err := NewLog(store)
+	dir := NewMemDir()
+	l, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,13 +273,13 @@ func TestLogAccessStatsSequentialVsRandom(t *testing.T) {
 	}
 }
 
-func TestLogFileStore(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "wal.log")
-	store, err := OpenFileStore(path)
+func TestLogFileDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	dir, err := OpenFileDir(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := NewLog(store)
+	l, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,15 +288,15 @@ func TestLogFileStore(t *testing.T) {
 	if err := l.Flush(2); err != nil {
 		t.Fatal(err)
 	}
-	if err := store.Close(); err != nil {
+	if err := dir.Close(); err != nil {
 		t.Fatal(err)
 	}
-	store2, err := OpenFileStore(path)
+	dir2, err := OpenFileDir(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer store2.Close()
-	l2, err := NewLog(store2)
+	defer dir2.Close()
+	l2, err := NewLog(dir2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,8 +334,8 @@ func TestLogConcurrentAppends(t *testing.T) {
 }
 
 func TestLogInteriorCorruptionRefusesOpen(t *testing.T) {
-	store := NewMemStore()
-	l, err := NewLog(store)
+	dir := NewMemDir()
+	l, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,23 +345,34 @@ func TestLogInteriorCorruptionRefusesOpen(t *testing.T) {
 	if err := l.Flush(3); err != nil {
 		t.Fatal(err)
 	}
-	// Flip a byte INSIDE the first record (interior corruption).
-	buf := store.Bytes()
-	buf[20] ^= 0xFF
-	store2 := NewMemStore()
-	if _, err := store2.WriteAt(buf, 0); err != nil {
+	// Flip a byte INSIDE the first record's body (interior corruption:
+	// covered by the frame checksum, not the frame length field).
+	dev := activeSegmentDev(t, dir, l)
+	var b [1]byte
+	off := int64(SegmentHeaderSize) + 8 + 3
+	if _, err := dev.ReadAt(b[:], off); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewLog(store2); err == nil {
+	b[0] ^= 0xFF
+	if _, err := dev.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLog(dir); err == nil {
 		t.Fatal("interior corruption silently accepted")
 	} else if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}
-	// A genuinely torn tail (short final frame) still opens.
-	if err := store.Truncate(int64(len(store.Bytes())) - 3); err != nil {
+	// Restore the byte: a genuinely torn tail (short final frame) still
+	// opens, dropping only the torn record.
+	b[0] ^= 0xFF
+	if _, err := dev.WriteAt(b[:], off); err != nil {
 		t.Fatal(err)
 	}
-	l3, err := NewLog(store)
+	size, _ := dev.Size()
+	if err := dev.Truncate(size - 3); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}

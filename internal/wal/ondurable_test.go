@@ -7,26 +7,41 @@ import (
 	"time"
 )
 
-// failSyncStore fails Sync with a configurable error.
-type failSyncStore struct {
-	*MemStore
+// failSyncDir wraps a MemDir so every device's Sync fails with a
+// configurable error — the failure mode of a dying disk.
+type failSyncDir struct {
+	*MemDir
 	mu  sync.Mutex
 	err error
 }
 
-func (s *failSyncStore) FailSyncsWith(err error) {
-	s.mu.Lock()
-	s.err = err
-	s.mu.Unlock()
+func (d *failSyncDir) FailSyncsWith(err error) {
+	d.mu.Lock()
+	d.err = err
+	d.mu.Unlock()
 }
 
-func (s *failSyncStore) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.err != nil {
-		return s.err
+func (d *failSyncDir) Open(name string) (Store, error) {
+	s, err := d.MemDir.Open(name)
+	if err != nil {
+		return nil, err
 	}
-	return s.MemStore.Sync()
+	return &failSyncDev{Store: s, dir: d}, nil
+}
+
+type failSyncDev struct {
+	Store
+	dir *failSyncDir
+}
+
+func (s *failSyncDev) Sync() error {
+	s.dir.mu.Lock()
+	err := s.dir.err
+	s.dir.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.Store.Sync()
 }
 
 func appendN(t *testing.T, l *Log, n int) LSN {
@@ -56,7 +71,7 @@ func waitCB(t *testing.T, ch <-chan error) error {
 // TestOnDurableAlreadyFlushed: a registration at or below the durable
 // horizon fires immediately with nil.
 func TestOnDurableAlreadyFlushed(t *testing.T) {
-	l, err := NewLog(NewMemStore())
+	l, err := NewLog(NewMemDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +90,7 @@ func TestOnDurableAlreadyFlushed(t *testing.T) {
 // synchronous Flush covers it, and registrations above the flushed range
 // stay pending.
 func TestOnDurableFiresOnSyncFlush(t *testing.T) {
-	l, err := NewLog(NewMemStore())
+	l, err := NewLog(NewMemDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +120,7 @@ func TestOnDurableFiresOnSyncFlush(t *testing.T) {
 // TestOnDurableFiresOnGroupFlush: registrations are served by the group
 // flush leader alongside FlushAsync waiters.
 func TestOnDurableFiresOnGroupFlush(t *testing.T) {
-	l, err := NewLog(NewMemStore())
+	l, err := NewLog(NewMemDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,15 +138,15 @@ func TestOnDurableFiresOnGroupFlush(t *testing.T) {
 // TestOnDurableErrorOnFailedFlush: a failed flush round delivers its
 // error to pending registrations exactly once.
 func TestOnDurableErrorOnFailedFlush(t *testing.T) {
-	store := &failSyncStore{MemStore: NewMemStore()}
-	l, err := NewLog(store)
+	dir := &failSyncDir{MemDir: NewMemDir()}
+	l, err := NewLog(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	l.SetFlushRetryPolicy(0, 0)
 	last := appendN(t, l, 2)
 	injected := errors.New("device gone")
-	store.FailSyncsWith(injected)
+	dir.FailSyncsWith(injected)
 	got := make(chan error, 2)
 	l.OnDurable(last, func(err error) { got <- err })
 	if ferr := <-l.FlushAsync(last); ferr == nil {
@@ -141,7 +156,7 @@ func TestOnDurableErrorOnFailedFlush(t *testing.T) {
 		t.Fatalf("callback error = %v, want wrapped %v", err, injected)
 	}
 	// Exactly once: a later successful flush must not re-fire it.
-	store.FailSyncsWith(nil)
+	dir.FailSyncsWith(nil)
 	if err := l.Flush(last); err != nil {
 		t.Fatal(err)
 	}
@@ -153,9 +168,11 @@ func TestOnDurableErrorOnFailedFlush(t *testing.T) {
 }
 
 // TestOnDurableErrorOnCrash: Crash delivers an error to every pending
-// registration — the instance they registered against is gone.
+// registration — the instance they registered against is gone — and the
+// error carries the ErrLogCrashed sentinel so callers can tell a crash
+// from a device refusal.
 func TestOnDurableErrorOnCrash(t *testing.T) {
-	l, err := NewLog(NewMemStore())
+	l, err := NewLog(NewMemDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +182,11 @@ func TestOnDurableErrorOnCrash(t *testing.T) {
 	if err := l.Crash(); err != nil {
 		t.Fatal(err)
 	}
-	if err := waitCB(t, got); err == nil {
+	cberr := waitCB(t, got)
+	if cberr == nil {
 		t.Fatal("callback delivered nil across a crash that lost the records")
+	}
+	if !errors.Is(cberr, ErrLogCrashed) {
+		t.Fatalf("callback error = %v, want errors.Is(_, ErrLogCrashed)", cberr)
 	}
 }

@@ -78,7 +78,12 @@ func (s *Subscription) Next(max int) ([]*Record, error) {
 	}
 	out := make([]*Record, 0, end-s.cursor+1)
 	for lsn := s.cursor; lsn <= end; lsn++ {
-		out = append(out, l.cache[lsn-l.base-1].clone())
+		r := l.recordAtLocked(lsn)
+		if r == nil {
+			// Cannot happen: the pin kept every LSN >= cursor live.
+			return nil, fmt.Errorf("%w: %d", ErrNoSuchLSN, lsn)
+		}
+		out = append(out, r.clone())
 	}
 	s.cursor = end + 1
 	return out, nil

@@ -96,26 +96,26 @@ func OpenStandby(opts ...StandbyOptions) (*Standby, error) {
 	engineOpts := core.Options{PoolSize: o.PoolSize, Follower: true}
 	cleanup := func() {}
 	if o.Dir != "" {
-		logStore, err := wal.OpenFileStore(filepath.Join(o.Dir, "wal.log"))
+		logDir, err := wal.OpenFileDir(filepath.Join(o.Dir, "wal"))
 		if err != nil {
 			return nil, err
 		}
 		master, err := wal.OpenFileStore(filepath.Join(o.Dir, "master"))
 		if err != nil {
-			logStore.Close()
+			logDir.Close()
 			return nil, err
 		}
 		disk, err := storage.OpenFileDisk(filepath.Join(o.Dir, "pages.db"))
 		if err != nil {
-			logStore.Close()
+			logDir.Close()
 			master.Close()
 			return nil, err
 		}
-		engineOpts.LogStore = logStore
+		engineOpts.LogDir = logDir
 		engineOpts.MasterStore = master
 		engineOpts.Disk = disk
 		cleanup = func() {
-			logStore.Close()
+			logDir.Close()
 			master.Close()
 			disk.Close()
 		}
