@@ -1,6 +1,7 @@
 package ariesrh
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
@@ -15,13 +16,16 @@ import (
 // backup time.  In-memory databases (no Dir) cannot be backed up.
 //
 // Log copying is incremental across repeated backups into the same
-// destDir: the segmented WAL's files are immutable once sealed (sealed
-// segments and manifest generations are never rewritten, and the active
-// segment only grows), so a destination file with the same name and size
-// as the source is already identical and is skipped — only segments past
-// what the previous backup shipped cost I/O.  Files the source no longer
-// has (archived segments, superseded manifest generations) are deleted
-// from the destination so the copy is exactly the source directory.
+// destDir: a destination file whose bytes already match the source is
+// skipped, so segments shipped by a previous backup cost only a read
+// (to verify) and no writes or syncs.  The verification is a byte
+// comparison, not a name+size check — same size does not imply same
+// content: torn-tail recovery can truncate a segment and later appends
+// return it to a previously shipped size with different bytes, and the
+// naïve-baseline engines' (*wal.Log).Rewrite patches stable segment
+// bytes in place at unchanged size.  Files the source no longer has
+// (archived segments, superseded manifest generations) are deleted from
+// the destination so the copy is exactly the source directory.
 func (db *DB) Backup(destDir string) error {
 	if db.dir == "" {
 		return fmt.Errorf("ariesrh: backup requires a file-backed database")
@@ -43,8 +47,9 @@ func (db *DB) Backup(destDir string) error {
 }
 
 // syncDirCopy mirrors the flat file directory src into dst, skipping
-// files whose name and size already match (valid only because every WAL
-// file is append-only or immutable) and deleting files absent from src.
+// files whose destination bytes already equal the source (verified by
+// comparison — name and size alone cannot prove identity, see Backup)
+// and deleting files absent from src.
 func syncDirCopy(src, dst string) error {
 	if err := os.MkdirAll(dst, 0o755); err != nil {
 		return err
@@ -63,11 +68,19 @@ func syncDirCopy(src, dst string) error {
 		if err != nil {
 			return err
 		}
-		if dstInfo, err := os.Stat(filepath.Join(dst, e.Name())); err == nil &&
+		srcPath := filepath.Join(src, e.Name())
+		dstPath := filepath.Join(dst, e.Name())
+		if dstInfo, err := os.Stat(dstPath); err == nil &&
 			dstInfo.Mode().IsRegular() && dstInfo.Size() == info.Size() {
-			continue // sealed/immutable file already shipped
+			same, err := filesEqual(srcPath, dstPath)
+			if err != nil {
+				return err
+			}
+			if same {
+				continue // already shipped, verified byte-for-byte
+			}
 		}
-		if err := copyFile(filepath.Join(src, e.Name()), filepath.Join(dst, e.Name())); err != nil {
+		if err := copyFile(srcPath, dstPath); err != nil {
 			return err
 		}
 	}
@@ -83,6 +96,41 @@ func syncDirCopy(src, dst string) error {
 		}
 	}
 	return nil
+}
+
+// filesEqual reports whether the two files hold identical bytes.  The
+// caller has already matched their sizes.
+func filesEqual(a, b string) (bool, error) {
+	fa, err := os.Open(a)
+	if err != nil {
+		return false, err
+	}
+	defer fa.Close()
+	fb, err := os.Open(b)
+	if err != nil {
+		return false, err
+	}
+	defer fb.Close()
+	bufA := make([]byte, 64<<10)
+	bufB := make([]byte, 64<<10)
+	for {
+		na, errA := io.ReadFull(fa, bufA)
+		nb, errB := io.ReadFull(fb, bufB)
+		if na != nb || !bytes.Equal(bufA[:na], bufB[:nb]) {
+			return false, nil
+		}
+		endA := errA == io.EOF || errA == io.ErrUnexpectedEOF
+		endB := errB == io.EOF || errB == io.ErrUnexpectedEOF
+		if endA || endB {
+			return endA && endB && na == nb, nil
+		}
+		if errA != nil {
+			return false, errA
+		}
+		if errB != nil {
+			return false, errB
+		}
+	}
 }
 
 func copyFile(src, dst string) error {

@@ -164,3 +164,34 @@ func TestBackupWithDelegationInFlight(t *testing.T) {
 		t.Fatalf("delegated update lost in backup: %q ok=%v", v, ok)
 	}
 }
+
+// TestSyncDirCopyDetectsSameSizeContentChange pins the incremental-copy
+// skip to content verification: a source file whose bytes changed at
+// unchanged size (torn-tail recovery re-appending a truncated segment,
+// or a naïve baseline's in-place Rewrite) must be re-shipped — a
+// name+size comparison alone would silently keep the stale copy.
+func TestSyncDirCopyDetectsSameSizeContentChange(t *testing.T) {
+	src := t.TempDir()
+	dst := t.TempDir()
+	name := "seg-0000000000000001"
+	if err := os.WriteFile(filepath.Join(src, name), []byte("old-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syncDirCopy(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	// Same size, different content.
+	if err := os.WriteFile(filepath.Join(src, name), []byte("new-bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syncDirCopy(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dst, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("new-bytes")) {
+		t.Fatalf("destination holds %q after re-sync, want %q", got, "new-bytes")
+	}
+}

@@ -298,3 +298,54 @@ func TestArchiveDeviceFailureLeavesStateIntact(t *testing.T) {
 		t.Fatalf("stats after successful archive: %+v", d)
 	}
 }
+
+// TestFailedManifestAttemptRemoved pins the cleanup contract of a
+// failed manifest write: the attempt's device must not remain in the
+// directory.  On a real filesystem a failed fsync does not prove the
+// bytes were lost; a fully written, CRC-valid higher generation left
+// behind would outrank the authoritative manifest at the next recovery
+// while referencing segments the failed archive went on to delete.
+func TestFailedManifestAttemptRemoved(t *testing.T) {
+	dir := &failSyncDir{MemDir: NewMemDir()}
+	l, err := NewLogWith(dir, LogOptions{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 6; i++ {
+		mustAppend(t, l, &Record{Type: TypeUpdate, TxID: 1, Object: ObjectID(i)})
+	}
+	if err := l.Flush(6); err != nil {
+		t.Fatal(err)
+	}
+
+	dir.FailSyncsWith(fmt.Errorf("injected sync failure"))
+	if err := l.Archive(4); err == nil {
+		t.Fatal("archive succeeded despite failing device")
+	}
+	dir.FailSyncsWith(nil)
+
+	// Exactly one manifest image remains: the authoritative generation.
+	names, err := dir.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var manifests []uint64
+	for _, name := range names {
+		if gen, ok := parseNumbered(name, "manifest-"); ok {
+			manifests = append(manifests, gen)
+		}
+	}
+	if len(manifests) != 1 || manifests[0] != l.manifestGen {
+		t.Fatalf("manifests on device after failed archive: %v (authoritative gen %d)", manifests, l.manifestGen)
+	}
+
+	// Recovery from this directory picks the authoritative generation and
+	// sees every record.
+	l2, err := NewLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Base() != NilLSN || l2.Head() != 6 {
+		t.Fatalf("reopen after failed archive: base=%d head=%d", l2.Base(), l2.Head())
+	}
+}

@@ -23,6 +23,12 @@ import (
 //   - Remove deletes the device and its name.  Removal of an open device
 //     is allowed (the Log removes archived segments it no longer reads).
 //   - List returns the current names in unspecified order.
+//   - Namespace operations are durable: a name created by Open survives
+//     a crash once Open returns, and a Remove survives a crash once it
+//     returns.  The Log's manifest-generation commit protocol depends on
+//     this ordering (new generation's name durable before its contents
+//     are synced, old generation's unlink durable only afterwards);
+//     MemDir satisfies it trivially, FileDir by fsyncing the directory.
 //
 // Two implementations are provided: MemDir (simulated stable storage)
 // and FileDir (a real directory); internal/fault provides a third with
@@ -112,7 +118,12 @@ func (d *MemDir) Put(name string, data []byte) {
 
 // FileDir is a Dir backed by a real directory on disk.  It caches the
 // FileStore per name so repeated Opens observe one file handle, and
-// closes them all on Close.
+// closes them all on Close.  Namespace operations are made durable by
+// fsyncing the directory inode: after creating a file in Open and after
+// every Remove — a file Sync alone does not persist its directory
+// entry, and the manifest commit protocol is only crash-atomic if the
+// new generation's name can never be lost while the old generation's
+// unlink (or segment deletes) survive.
 type FileDir struct {
 	mu   sync.Mutex
 	path string
@@ -127,22 +138,52 @@ func OpenFileDir(path string) (*FileDir, error) {
 	return &FileDir{path: path, open: make(map[string]*FileStore)}, nil
 }
 
-// Open returns the named file device, creating it if absent.
+// syncSelf fsyncs the directory inode, making file creations and
+// removals durable.  Callers hold d.mu.
+func (d *FileDir) syncSelf() error {
+	f, err := os.Open(d.path)
+	if err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", d.path, err)
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: sync dir %s: %w", d.path, err)
+	}
+	return nil
+}
+
+// Open returns the named file device, creating it if absent.  Creating
+// a file fsyncs the directory before returning, so the name is durable
+// before any caller treats a later device Sync as a commit point.
 func (d *FileDir) Open(name string) (Store, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if s, ok := d.open[name]; ok {
 		return s, nil
 	}
-	s, err := OpenFileStore(filepath.Join(d.path, name))
+	full := filepath.Join(d.path, name)
+	_, statErr := os.Stat(full)
+	created := os.IsNotExist(statErr)
+	s, err := OpenFileStore(full)
 	if err != nil {
 		return nil, err
+	}
+	if created {
+		if err := d.syncSelf(); err != nil {
+			_ = s.Close()
+			_ = os.Remove(full)
+			return nil, err
+		}
 	}
 	d.open[name] = s
 	return s, nil
 }
 
-// Remove closes (if open) and deletes the named file.
+// Remove closes (if open) and deletes the named file, fsyncing the
+// directory so the unlink is durable before returning.
 func (d *FileDir) Remove(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -150,7 +191,10 @@ func (d *FileDir) Remove(name string) error {
 		_ = s.Close()
 		delete(d.open, name)
 	}
-	return os.Remove(filepath.Join(d.path, name))
+	if err := os.Remove(filepath.Join(d.path, name)); err != nil {
+		return err
+	}
+	return d.syncSelf()
 }
 
 // List returns the names of the regular files in the directory.

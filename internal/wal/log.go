@@ -411,6 +411,15 @@ func (l *Log) recordAtLocked(lsn LSN) *Record {
 // the previous generation remains the one recovery picks.  Only on
 // success is the in-memory generation bumped and the old image removed
 // (best-effort — a stray old generation is cleaned up at next open).
+//
+// A failed attempt removes its device before returning: a fully
+// written image whose Sync errored may nonetheless prove durable (a
+// real fsync failure does not imply the bytes were lost), and a
+// CRC-valid higher generation left on the device would outrank the
+// authoritative one at the next recovery while referencing segments
+// the failed operation then deleted.  The removal is best-effort only
+// as a last resort — if it too fails, the next successful write of
+// this generation number truncates the stale image first.
 func (l *Log) writeManifestLocked(base LSN, entries []manifestEntry) error {
 	gen := l.manifestGen + 1
 	dev, err := l.dir.Open(manifestName(gen))
@@ -421,12 +430,15 @@ func (l *Log) writeManifestLocked(base LSN, entries []manifestEntry) error {
 	// A previous failed attempt may have left longer working bytes on
 	// this generation's device; truncate so the image is exactly buf.
 	if err := dev.Truncate(0); err != nil {
+		_ = l.dir.Remove(manifestName(gen))
 		return fmt.Errorf("wal: manifest truncate: %w", err)
 	}
 	if _, err := dev.WriteAt(buf, 0); err != nil {
+		_ = l.dir.Remove(manifestName(gen))
 		return fmt.Errorf("wal: manifest write: %w", err)
 	}
 	if err := dev.Sync(); err != nil {
+		_ = l.dir.Remove(manifestName(gen))
 		return fmt.Errorf("wal: manifest sync: %w", err)
 	}
 	old := l.manifestGen

@@ -217,7 +217,12 @@ func readAll(dev Store) ([]byte, error) {
 // pickManifest scans names for manifest images and returns the decoded
 // manifest with the highest generation that passes validation, or nil
 // if none does.  Torn higher generations are skipped, not errors: an
-// interrupted manifest write leaves exactly that shape behind.
+// interrupted manifest write leaves exactly that shape behind.  A
+// generation whose device cannot be opened or read is skipped the same
+// way — a single unreadable higher generation must not block recovery
+// when a valid older one exists; only if NO generation is usable is the
+// first such error surfaced (rather than nil, which would let a fresh
+// init discard the directory).
 func pickManifest(dir Dir, names []string) (*manifest, error) {
 	var gens []uint64
 	for _, name := range names {
@@ -233,14 +238,21 @@ func pickManifest(dir Dir, names []string) (*manifest, error) {
 			}
 		}
 	}
+	var firstErr error
 	for _, gen := range gens {
 		dev, err := dir.Open(manifestName(gen))
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = fmt.Errorf("manifest gen %d: %w", gen, err)
+			}
+			continue
 		}
 		buf, err := readAll(dev)
 		if err != nil {
-			return nil, err
+			if firstErr == nil {
+				firstErr = fmt.Errorf("manifest gen %d: %w", gen, err)
+			}
+			continue
 		}
 		m, err := decodeManifest(buf)
 		if err != nil || m.gen != gen {
@@ -248,5 +260,5 @@ func pickManifest(dir Dir, names []string) (*manifest, error) {
 		}
 		return m, nil
 	}
-	return nil, nil
+	return nil, firstErr
 }

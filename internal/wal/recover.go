@@ -173,8 +173,9 @@ func (l *Log) loadFromDir() error {
 // generation 1.  A directory with no decodable manifest but with segment
 // record data is refused with ErrNoManifest — nothing says which
 // segments are live, so silently re-initializing would discard records.
-// Headerless or empty stray files (a crash during a previous fresh init)
-// are removed.
+// Headerless or empty stray seg-/manifest- files (a crash during a
+// previous fresh init) are removed; unknown names are left alone, the
+// same policy as sweepStrays.
 func (l *Log) initFreshDir(names []string) error {
 	for _, name := range names {
 		if num, ok := parseNumbered(name, "seg-"); ok {
@@ -189,6 +190,8 @@ func (l *Log) initFreshDir(names []string) error {
 			if d, err := decodeSegmentImage(buf); err == nil && len(d.recs) > 0 {
 				return fmt.Errorf("%w: segment %d holds records", ErrNoManifest, num)
 			}
+		} else if _, ok := parseNumbered(name, "manifest-"); !ok {
+			continue // unknown name: not ours to delete
 		}
 		_ = l.dir.Remove(name)
 	}
