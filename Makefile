@@ -9,10 +9,11 @@
 #   make bench-e11 regenerate BENCH_E11.json (quick sizes)
 #   make bench-e12 regenerate BENCH_E12.json (quick sizes)
 #   make bench-e13 regenerate BENCH_E13.json (quick sizes)
+#   make bench-e14 regenerate BENCH_E14.json (quick sizes)
 
 GO ?= go
 
-.PHONY: check ci vet staticcheck build test race fuzz-short torture standby-demo bench bench-e8 bench-e11 bench-e12 bench-e13
+.PHONY: check ci vet staticcheck build test race fuzz-short torture standby-demo bench bench-e8 bench-e11 bench-e12 bench-e13 bench-e14
 
 check: vet build test race
 
@@ -20,6 +21,7 @@ check: vet build test race
 # packages plus a short fuzz pass over both wire-format decoders.
 ci: vet staticcheck build test
 	$(GO) test -race ./internal/core ./internal/wal ./internal/repl
+	$(GO) test -race -short -run 'TestReadsDuringRecovery' ./internal/torture
 	$(MAKE) fuzz-short
 
 # staticcheck is optional tooling: CI installs it, dev environments may
@@ -82,3 +84,6 @@ bench-e12:
 
 bench-e13:
 	$(GO) run ./cmd/rhbench -exp e13 -quick -json BENCH_E13.json
+
+bench-e14:
+	$(GO) run ./cmd/rhbench -exp e14 -quick -json BENCH_E14.json

@@ -63,6 +63,14 @@ var (
 	ErrTxGone = core.ErrNoSuchTxn
 	// ErrCrashed is returned between Crash and Recover.
 	ErrCrashed = core.ErrCrashed
+	// ErrRecovering is returned by mutating operations while a parallel
+	// recovery pipeline (Options.ParallelRecovery) is still running.
+	// Reads stay available — each waits only for its own object's redo
+	// chain and undo gate — but writes must wait for the whole pipeline
+	// so they can never interleave with redo or the backward pass.  Retry
+	// after WaitRecovered returns (or when Health stops reporting
+	// StateRecovering).
+	ErrRecovering = core.ErrRecovering
 	// ErrDegraded is returned (wrapped) by mutating operations after a
 	// persistent log-device failure moved the database to read-only
 	// degraded mode.  Reads and Abort still work; Crash + Recover with a
@@ -122,6 +130,22 @@ type Options struct {
 	// crash contract.  Requires group commit (ignored with
 	// GroupCommitOff).
 	EarlyLockRelease bool
+	// ParallelRecovery makes Recover (and a reopened database's implicit
+	// recovery) run as the instant-restart pipeline: a parallel scan of
+	// the log segments builds per-object redo chains, redo happens on
+	// demand — a read during recovery redoes just its object's chain and
+	// returns — and the backward undo sweep runs concurrently, gated per
+	// record on the redo it depends on.  Recover returns with the
+	// pipeline in flight; the database reports StateRecovering, serves
+	// reads, and rejects writes with ErrRecovering until WaitRecovered
+	// returns nil.
+	//
+	// Crash contract: unchanged.  The recovered state is identical to
+	// sequential recovery's, a read is served only after its object's
+	// redo chain and every loser cluster covering it are applied, and a
+	// pipeline failure returns the database to StateCrashed with the
+	// error reported by WaitRecovered; Recover may then be retried.
+	ParallelRecovery bool
 }
 
 // DB is a handle to an ARIES/RH database.
@@ -143,6 +167,7 @@ func Open(opts ...Options) (*DB, error) {
 		PoolSize:         o.PoolSize,
 		GroupCommit:      o.GroupCommit,
 		EarlyLockRelease: o.EarlyLockRelease,
+		ParallelRecovery: o.ParallelRecovery,
 	}
 	if o.FaultDir != nil {
 		if o.Dir != "" {
@@ -211,7 +236,19 @@ func (db *DB) Crash() error { return db.eng.Crash() }
 // did not commit.  Recovery is idempotent — a crash during Recover is
 // handled by running Recover again — and tolerates a torn record at the
 // log's tail (the expected signature of a crash mid-flush).
+//
+// With Options.ParallelRecovery, Recover returns once the pipeline is
+// started: reads are served immediately (each triggering on-demand redo
+// of its own object), writes return ErrRecovering until WaitRecovered.
 func (db *DB) Recover() error { return db.eng.Recover() }
+
+// WaitRecovered blocks until the in-flight parallel recovery (or
+// promotion) pipeline completes and returns its outcome: nil once the
+// database is writable, or the pipeline's error — after which the
+// database is back in StateCrashed and Recover may be retried.  Without
+// Options.ParallelRecovery (or with no recovery running) it returns
+// immediately: nil when healthy, ErrCrashed between Crash and Recover.
+func (db *DB) WaitRecovered() error { return db.eng.WaitRecovered() }
 
 // HealthState enumerates DB availability states (re-exported from the
 // engine).
@@ -228,6 +265,11 @@ const (
 	StateDegraded = core.StateDegraded
 	// StateCrashed: between Crash and Recover.
 	StateCrashed = core.StateCrashed
+	// StateRecovering: a parallel recovery pipeline
+	// (Options.ParallelRecovery) is running.  Reads are served — each
+	// gated on its own object's redo and undo — while mutations return
+	// ErrRecovering until WaitRecovered.
+	StateRecovering = core.StateRecovering
 )
 
 // Health describes the database's availability: its state and, when

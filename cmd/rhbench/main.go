@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e13, a1, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e14, a1, or all")
 	quick := flag.Bool("quick", false, "use smaller workload sizes")
 	jsonPath := flag.String("json", "", "also write the tables as a JSON array to this file")
 	flag.Parse()
@@ -127,6 +127,16 @@ func main() {
 			}
 			return bench.E13ArchiveCost(lengths, 2048, 1024, 4096, rounds, maxBoundaries)
 		}},
+		{"e14", func() (*bench.Table, error) {
+			// Log length grows via the object count at a fixed chain
+			// length per object, so the probe's on-demand redo is the
+			// same work at every cell and only the replay volume moves.
+			lengths := []int{8192, 32768, 131072}
+			if *quick {
+				lengths = []int{4096, 16384, 65536}
+			}
+			return bench.E14InstantRestart(lengths, 8, 16)
+		}},
 	}
 
 	var tables []*bench.Table
@@ -144,7 +154,7 @@ func main() {
 		tables = append(tables, table)
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want e1..e13, a1, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want e1..e14, a1, or all)", *exp)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")

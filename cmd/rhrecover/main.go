@@ -4,7 +4,13 @@
 //
 // Usage:
 //
-//	rhrecover [-seed N] [-steps N] [-deleg RATE] [-ckpt] [-crashes N]
+//	rhrecover [-seed N] [-steps N] [-deleg RATE] [-ckpt] [-crashes N] [-parallel]
+//
+// With -parallel the engine recovers through the instant-restart
+// pipeline: Recover returns with redo and undo still in flight, the tool
+// serves a read mid-recovery (on-demand redo of just that object's
+// chain), shows a write being rejected with ErrRecovering, and only then
+// waits for the pipeline to drain.
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 	crashes := flag.Int("crashes", 1, "number of crash/recover cycles (tests CLR idempotency)")
 	failpoint := flag.Int("failpoint", 0, "inject a second crash after N CLRs of the first recovery's backward pass")
 	metrics := flag.Bool("metrics", false, "print the engine metrics snapshot and the last recovery trace")
+	parallel := flag.Bool("parallel", false, "recover through the instant-restart pipeline and serve a read mid-recovery")
 	flag.Parse()
 
 	cfg := sim.Config{
@@ -43,7 +50,7 @@ func main() {
 	trace := sim.Generate(cfg)
 	fmt.Printf("history: %d actions (seed %d, delegation rate %.2f)\n", len(trace), *seed, *deleg)
 
-	engine, err := core.New(core.Options{PoolSize: 256})
+	engine, err := core.New(core.Options{PoolSize: 256, ParallelRecovery: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,8 +104,53 @@ func main() {
 		}
 	}
 	for i := 0; i < *crashes; i++ {
-		if err := rep.CrashRecover(); err != nil {
+		if !*parallel {
+			if err := rep.CrashRecover(); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		// Pipelined recovery: demonstrate the recovering-but-readable
+		// window on the first cycle.  The hold keeps the pipeline from
+		// flipping the engine writable until we have shown both sides of
+		// the contract; all recovery work still completes under it.
+		if err := engine.Log().Flush(engine.Log().Head()); err != nil {
 			log.Fatal(err)
+		}
+		if err := engine.Crash(); err != nil {
+			log.Fatal(err)
+		}
+		var hold chan struct{}
+		if i == 0 {
+			hold = make(chan struct{})
+			engine.SetRecoveryHold(hold)
+		}
+		start := time.Now()
+		if err := engine.Recover(); err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			_, ok, err := engine.ReadObject(1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ttfr := time.Since(start)
+			fmt.Printf("pipeline recovery in flight (engine state: %s)\n", engine.Health().State)
+			fmt.Printf("  read of object 1 served after %v (present=%v; on-demand redo of its chain only)\n",
+				ttfr.Round(time.Microsecond), ok)
+			if _, err := engine.Begin(); errors.Is(err, core.ErrRecovering) {
+				fmt.Printf("  write rejected mid-recovery: %v\n", err)
+			} else {
+				log.Fatalf("expected ErrRecovering for a mid-recovery Begin, got %v", err)
+			}
+			close(hold)
+		}
+		if err := engine.WaitRecovered(); err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("  pipeline drained after %v; engine %s, writes accepted\n",
+				time.Since(start).Round(time.Microsecond), engine.Health().State)
 		}
 	}
 	s := engine.Stats()
@@ -112,10 +164,18 @@ func main() {
 
 	if *metrics {
 		tr := engine.LastRecoveryTrace()
-		fmt.Printf("last recovery trace: forward %v (%d records, %d redone) + backward %v (%d visited, %d skipped, %d clusters, %d CLRs) = %v\n",
-			tr.ForwardDur.Round(time.Microsecond), tr.ForwardRecords, tr.Redone,
-			tr.BackwardDur.Round(time.Microsecond), tr.BackwardVisited, tr.BackwardSkipped, tr.Clusters, tr.CLRs,
-			tr.TotalDur.Round(time.Microsecond))
+		mode := "sequential"
+		if tr.Parallel {
+			mode = fmt.Sprintf("pipeline over %d segments, %d on-demand reads", tr.Segments, tr.OnDemandReads)
+		}
+		fmt.Printf("last recovery trace (%s): %d winners, %d losers, %v total\n",
+			mode, tr.Winners, tr.Losers, tr.TotalDur.Round(time.Microsecond))
+		for _, st := range tr.Stages {
+			fmt.Printf("  stage %-8s %10v  %d units\n", st.Name, st.Dur.Round(time.Microsecond), st.Units)
+		}
+		fmt.Printf("  forward: %d records scanned, %d redone; backward: %d visited, %d skipped, %d clusters, %d CLRs\n",
+			tr.ForwardRecords, tr.Redone,
+			tr.BackwardVisited, tr.BackwardSkipped, tr.Clusters, tr.CLRs)
 		fmt.Println("metrics snapshot:")
 		for _, line := range strings.Split(strings.TrimRight(engine.Metrics().Format(), "\n"), "\n") {
 			fmt.Printf("  %s\n", line)

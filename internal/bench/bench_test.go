@@ -148,6 +148,23 @@ func TestTableFormat(t *testing.T) {
 	}
 }
 
+func TestE14InstantShape(t *testing.T) {
+	tab, err := E14InstantRestart([]int{1024, 4096}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sequential and one pipeline row per length.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4:\n%s", len(tab.Rows), tab.Format())
+	}
+	// The verdict's timing thresholds are too noisy at test sizes to
+	// assert; the correctness checks inside the harness (every first
+	// read must return the probe's committed value) are the test.
+	if tab.Verdict == "" {
+		t.Fatal("empty verdict")
+	}
+}
+
 func TestE13ArchiveShape(t *testing.T) {
 	tab, err := E13ArchiveCost([]int{512, 8192}, 128, 256, 1024, 20, 20)
 	if err != nil {

@@ -130,6 +130,12 @@ func (e *Engine) CounterValue(obj wal.ObjectID) (int64, error) {
 // undoIncrement compensates an increment logically: a CLR carrying the
 // negated delta is logged and applied.
 func (e *Engine) undoIncrement(owner wal.TxID, rec *wal.Record) error {
+	return e.undoIncrementInto(owner, rec, &e.stats)
+}
+
+// undoIncrementInto is undoIncrement with an explicit stats sink; see
+// undoUpdateInto.
+func (e *Engine) undoIncrementInto(owner wal.TxID, rec *wal.Record, st *Stats) error {
 	info := e.txns.Get(owner)
 	prev := wal.NilLSN
 	if info != nil {
@@ -155,7 +161,7 @@ func (e *Engine) undoIncrement(owner wal.TxID, rec *wal.Record) error {
 	if info != nil {
 		info.LastLSN = lsn
 	}
-	e.stats.CLRs++
+	st.CLRs++
 	e.met.clrs.Inc()
 	return nil
 }

@@ -49,6 +49,13 @@ var (
 	// ErrCrashed is returned for operations attempted between Crash and
 	// Recover.
 	ErrCrashed = errors.New("core: engine crashed; run Recover")
+	// ErrRecovering is returned for mutating operations while a parallel
+	// recovery (or promotion) pipeline is still running: reads are served
+	// as soon as their object's redo and undo are settled, but writes
+	// must wait for the whole pipeline so they can never interleave with
+	// redo or the backward pass.  Retry after WaitRecovered (or when
+	// Health stops reporting StateRecovering).
+	ErrRecovering = errors.New("core: engine is recovering; writes unavailable until recovery completes")
 	// ErrDegraded is returned for mutating operations while the engine is
 	// in the read-only degraded state it enters after a persistent log
 	// device error (a commit- or abort-time force that failed even after
@@ -83,6 +90,11 @@ const (
 	// served at the replayed LSN, mutations are rejected with
 	// ErrFollower until Promote.
 	StateFollower
+	// StateRecovering: a parallel recovery (or promotion) pipeline is
+	// running.  Reads are available — each waits only for its own
+	// object's redo chain and undo gate — while mutations are rejected
+	// with ErrRecovering until the pipeline completes.
+	StateRecovering
 )
 
 // String renders the state for logs and error messages.
@@ -96,6 +108,8 @@ func (s HealthState) String() string {
 		return "crashed"
 	case StateFollower:
 		return "follower"
+	case StateRecovering:
+		return "recovering"
 	}
 	return fmt.Sprintf("HealthState(%d)", int(s))
 }
@@ -187,6 +201,27 @@ type Options struct {
 	// guarantees no dependent's commit record survives a predecessor's
 	// lost one.
 	EarlyLockRelease bool
+	// ParallelRecovery rebuilds Recover (and Promote) as the three-stage
+	// instant-restart pipeline: a manifest-driven parallel scan of the
+	// log segments builds per-object redo chains, redo runs on demand —
+	// a read during recovery redoes just its object's chain and returns,
+	// while background workers drain the rest by descending heat — and
+	// the backward cluster-undo pass runs concurrently with tail redo,
+	// gated per record on the redo of the pages it touches.  Recover
+	// returns once the pipeline is started; the engine then reports
+	// StateRecovering, serves reads (each gated on its own object's redo
+	// and undo), and rejects writes with ErrRecovering until the
+	// pipeline completes (WaitRecovered blocks for it).
+	//
+	// Crash contract: unchanged.  The recovered state is byte-identical
+	// to sequential recovery's — redo baselines are captured per page
+	// before the pipeline's first write to that page, the undo sweep
+	// still visits loser clusters in strictly decreasing LSN order, and
+	// a read is served only after its object's redo chain has applied
+	// AND every loser cluster covering the object has been undone.  A
+	// pipeline failure returns the engine to the crashed state;
+	// WaitRecovered reports the error and Recover may be retried.
+	ParallelRecovery bool
 }
 
 // groupCommit reports whether commits use the coalesced flush path.
@@ -267,6 +302,18 @@ type Engine struct {
 	// after that many backward-pass CLRs — fault injection for
 	// crash-during-recovery testing.  One-shot; cleared when it fires.
 	recoveryFailpoint int
+
+	// recovering is the live instant-restart pipeline while a parallel
+	// Recover (or Promote) is in flight, nil otherwise.  While set, the
+	// pipeline's goroutines own the transaction table, the object lists
+	// and all page applications; every other path must either route
+	// through it (reads) or reject with ErrRecovering (writes).
+	recovering *recoveryPipeline
+	// recoveryHold, when non-nil, makes the next pipeline block right
+	// before flipping the engine back to healthy until the channel is
+	// closed — a deterministic window for tests that must observe the
+	// recovering state.  One-shot; consumed by the next pipeline.
+	recoveryHold <-chan struct{}
 }
 
 // New creates an engine over fresh or existing stable storage.
@@ -349,6 +396,8 @@ func (e *Engine) Health() Health {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	switch {
+	case e.recovering != nil:
+		return Health{State: StateRecovering}
 	case e.crashed:
 		return Health{State: StateCrashed}
 	case e.follower:
@@ -362,6 +411,11 @@ func (e *Engine) Health() Health {
 // writableLocked gates operations that would append (and eventually
 // force) new log records.  The caller holds the engine latch.
 func (e *Engine) writableLocked() error {
+	if e.recovering != nil {
+		// Writes never interleave with the pipeline's redo or undo: they
+		// are rejected until the pipeline completes and flips the state.
+		return ErrRecovering
+	}
 	if e.crashed {
 		return ErrCrashed
 	}
@@ -404,8 +458,16 @@ func (e *Engine) LogStats() wal.AccessStats { return e.log.Stats() }
 
 // ReadObject returns the current stable/buffered value of obj without any
 // locking — for tests, tools and the history checker, not for transactions.
+// During a parallel recovery it is the recovering-reads surface: the call
+// triggers on-demand redo of obj's chain, waits for any loser cluster
+// covering obj to be undone, and returns the fully recovered value — it
+// never observes a half-recovered object.
 func (e *Engine) ReadObject(obj wal.ObjectID) ([]byte, bool, error) {
 	e.mu.Lock()
+	if p := e.recovering; p != nil {
+		e.mu.Unlock()
+		return p.readObject(obj)
+	}
 	defer e.mu.Unlock()
 	if e.crashed {
 		return nil, false, ErrCrashed
@@ -429,6 +491,10 @@ func (e *Engine) ResponsibleFor(lsn wal.LSN) (wal.TxID, error) {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.recovering != nil {
+		// The pipeline's workers own the object lists until it completes.
+		return wal.NilTx, ErrRecovering
+	}
 	for owner, ol := range e.state {
 		entry := ol.Entry(rec.Object)
 		if entry == nil {
@@ -454,6 +520,10 @@ func (e *Engine) ResponsibleFor(lsn wal.LSN) (wal.TxID, error) {
 // error; Scan reads each position once and starts above the base.
 func (e *Engine) OpList(tx wal.TxID) ([]wal.LSN, error) {
 	e.mu.Lock()
+	if e.recovering != nil {
+		e.mu.Unlock()
+		return nil, ErrRecovering
+	}
 	ol, ok := e.state[tx]
 	if !ok {
 		e.mu.Unlock()
@@ -503,6 +573,20 @@ func (e *Engine) SetRecoveryFailpoint(n int) {
 	e.recoveryFailpoint = n
 }
 
+// SetRecoveryHold arms a one-shot testing hook for parallel recovery:
+// the next pipeline completes all of its work — redo drain, backward
+// pass, loser termination, the final log force — but blocks right before
+// flipping the engine back to a writable state until ch is closed.
+// Reads are fully served during the hold (every gate has been released);
+// writes keep returning ErrRecovering.  This gives tests a
+// deterministic window in which to observe the recovering state; nil
+// disarms.
+func (e *Engine) SetRecoveryHold(ch <-chan struct{}) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.recoveryHold = ch
+}
+
 // Quiesce flushes the whole log and then runs fn while holding the engine
 // latch, so no operation can mutate stable state during fn.  Used for
 // online backup: fn copies the stable stores and gets a crash-consistent
@@ -539,11 +623,30 @@ func (e *Engine) FlushPages() error {
 	return nil
 }
 
+// drainRecovery waits for any live parallel-recovery pipeline to finish
+// (successfully or not) so the caller can take exclusive ownership of the
+// engine's volatile state.  Returns with no latch held.
+func (e *Engine) drainRecovery() {
+	for {
+		e.mu.Lock()
+		p := e.recovering
+		e.mu.Unlock()
+		if p == nil {
+			return
+		}
+		<-p.done
+	}
+}
+
 // Crash simulates a failure: the unflushed log tail, buffer pool, lock
 // table, transaction table and all object lists are lost.  Stable storage
 // (flushed log, written pages, master record) survives.  The engine
-// rejects new work until Recover is called.
+// rejects new work until Recover is called.  A parallel recovery still in
+// flight is drained first — the crash then lands on whatever that
+// recovery made durable, exactly as a crash during sequential recovery
+// would land on its durable prefix.
 func (e *Engine) Crash() error {
+	e.drainRecovery()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if err := e.log.Crash(); err != nil {
@@ -572,8 +675,9 @@ func (e *Engine) Crash() error {
 
 // Close flushes everything for a clean shutdown and releases the stable
 // stores (log, master record and disk), including any file handles behind
-// them.
+// them.  A parallel recovery still in flight is waited for first.
 func (e *Engine) Close() error {
+	e.drainRecovery()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.crashed {

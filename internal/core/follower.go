@@ -126,6 +126,16 @@ func (e *Engine) ReplayedLSN() wal.LSN {
 // primitive replica-side queries are built on.
 func (e *Engine) FollowerRead(obj wal.ObjectID) ([]byte, bool, wal.LSN, error) {
 	e.mu.Lock()
+	if p := e.recovering; p != nil {
+		// A parallel promotion is sweeping the loser clusters; the read
+		// waits for its object's undo gate, so it observes either the
+		// follower value (object untouched by losers) or the promoted
+		// one — never a half-undone state.
+		replayed := e.replayedLSN
+		e.mu.Unlock()
+		v, ok, err := p.readObject(obj)
+		return v, ok, replayed, err
+	}
 	defer e.mu.Unlock()
 	if e.crashed {
 		return nil, false, wal.NilLSN, ErrCrashed
@@ -141,7 +151,16 @@ func (e *Engine) FollowerRead(obj wal.ObjectID) ([]byte, bool, wal.LSN, error) {
 // log (§3.6.2).  On success the engine accepts writes; on error it
 // remains a follower and Promote may be retried (the CLRs already written
 // are found via the compensated map and not re-applied).
+//
+// With Options.ParallelRecovery the backward pass runs as a pipeline:
+// Promote returns once the sweep is started, the engine reports
+// StateRecovering, follower reads keep flowing (each gated on the undo of
+// the loser clusters covering its object), and writes are accepted after
+// WaitRecovered returns nil.
 func (e *Engine) Promote() error {
+	if e.opts.ParallelRecovery {
+		return e.promoteParallel()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if !e.follower {

@@ -626,6 +626,13 @@ func (e *Engine) fireRecoveryFailpoint() error {
 // undoUpdate restores rec's before-image and logs a CLR on behalf of the
 // responsible transaction owner.
 func (e *Engine) undoUpdate(owner wal.TxID, rec *wal.Record) error {
+	return e.undoUpdateInto(owner, rec, &e.stats)
+}
+
+// undoUpdateInto is undoUpdate with an explicit stats sink: the parallel
+// recovery pipeline counts into pipeline-local stats (merged under the
+// engine latch at finish) because its undo worker runs without the latch.
+func (e *Engine) undoUpdateInto(owner wal.TxID, rec *wal.Record, st *Stats) error {
 	info := e.txns.Get(owner)
 	prev := wal.NilLSN
 	if info != nil {
@@ -650,7 +657,7 @@ func (e *Engine) undoUpdate(owner wal.TxID, rec *wal.Record) error {
 	if info != nil {
 		info.LastLSN = lsn
 	}
-	e.stats.CLRs++
+	st.CLRs++
 	e.met.clrs.Inc()
 	return nil
 }

@@ -68,6 +68,9 @@ type recoveryBook struct {
 // The log is never modified in place: history is rewritten by
 // interpretation, not mutation.
 func (e *Engine) Recover() error {
+	if e.opts.ParallelRecovery {
+		return e.recoverParallel()
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.follower {
@@ -169,6 +172,30 @@ func (e *Engine) locateCheckpointLocked() (scanStart, analysisAfter wal.LSN, err
 // the body of recovery's forward pass; a follower engine calls it once
 // per shipped record, forever.
 func (e *Engine) applyRecordLocked(rec *wal.Record, analyze bool, rs *replayState) error {
+	if err := e.analyzeRecordLocked(rec, analyze, rs); err != nil {
+		return err
+	}
+	switch rec.Type {
+	case wal.TypeUpdate:
+		return e.redoApply(rs.applied, rec.Object, rec.After, rec.LSN)
+	case wal.TypeIncrement:
+		return e.redoApplyDelta(rs.applied, rec.Object, rec.Delta, rec.LSN)
+	case wal.TypeCLR:
+		if rec.Logical {
+			return e.redoApplyDelta(rs.applied, rec.Object, rec.Delta, rec.LSN)
+		}
+		return e.redoApply(rs.applied, rec.Object, rec.Before, rec.LSN)
+	}
+	return nil
+}
+
+// analyzeRecordLocked is the analysis half of the forward pass: the
+// transaction-table and object-list bookkeeping for one record, with no
+// page access.  The parallel pipeline runs it sequentially in LSN order
+// over the scanned shards (analysis is inherently ordered — a delegate
+// record rewrites the scopes the records before it built) while the redo
+// half is deferred to the per-object chains.
+func (e *Engine) analyzeRecordLocked(rec *wal.Record, analyze bool, rs *replayState) error {
 	switch rec.Type {
 	case wal.TypeBegin:
 		if analyze {
@@ -188,10 +215,6 @@ func (e *Engine) applyRecordLocked(rec *wal.Record, analyze bool, rs *replayStat
 			}
 			ol.RecordUpdate(rec.TxID, rec.Object, rec.LSN)
 		}
-		if rec.Type == wal.TypeIncrement {
-			return e.redoApplyDelta(rs.applied, rec.Object, rec.Delta, rec.LSN)
-		}
-		return e.redoApply(rs.applied, rec.Object, rec.After, rec.LSN)
 	case wal.TypeCLR:
 		rs.compensated[rec.Compensates] = true
 		if analyze {
@@ -199,10 +222,6 @@ func (e *Engine) applyRecordLocked(rec *wal.Record, analyze bool, rs *replayStat
 				info.LastLSN = rec.LSN
 			}
 		}
-		if rec.Logical {
-			return e.redoApplyDelta(rs.applied, rec.Object, rec.Delta, rec.LSN)
-		}
-		return e.redoApply(rs.applied, rec.Object, rec.Before, rec.LSN)
 	case wal.TypeDelegate:
 		if analyze {
 			torList := e.state[rec.Tor]
@@ -252,27 +271,9 @@ func (e *Engine) applyRecordLocked(rec *wal.Record, analyze bool, rs *replayStat
 // calls it over the follower's continuously maintained replay state —
 // promotion IS this function, there is no separate code path.
 func (e *Engine) finishRecoveryLocked(rs *replayState, book recoveryBook) error {
-	// ---- Classify winners and losers; build LsrScopes (§3.6.1). ----
-	var losers []wal.TxID
-	for _, info := range e.txns.Snapshot() {
-		if info.Status == txn.Committed {
-			// Winner whose End record was lost with the crash:
-			// its effects are already redone; finish bookkeeping.
-			if _, err := e.log.Append(&wal.Record{Type: wal.TypeEnd, TxID: info.ID, PrevLSN: info.LastLSN}); err != nil {
-				return err
-			}
-			e.txns.Remove(info.ID)
-			delete(e.state, info.ID)
-			continue
-		}
-		losers = append(losers, info.ID)
-	}
-	var lsrScopes []delegation.Scope
-	for _, id := range losers {
-		e.stats.RecLosers++
-		if ol := e.state[id]; ol != nil {
-			lsrScopes = append(lsrScopes, ol.OwnedScopes(id)...)
-		}
+	losers, lsrScopes, err := e.classifyLocked()
+	if err != nil {
+		return err
 	}
 
 	// ---- Backward pass: cluster sweep undoing loser updates (§3.6.2). ----
@@ -293,6 +294,90 @@ func (e *Engine) finishRecoveryLocked(rs *replayState, book recoveryBook) error 
 	backwardDur := time.Since(backwardStart)
 
 	// ---- Terminate losers. ----
+	if err := e.terminateLosers(losers); err != nil {
+		return err
+	}
+	if err := e.log.Flush(e.log.Head()); err != nil {
+		return err
+	}
+	e.crashed = false
+
+	// ---- Record the trace and the cumulative recovery metrics. ----
+	delta := func(after, before uint64) uint64 { return after - before }
+	tr := RecoveryTrace{
+		ForwardDur:      book.forwardDur,
+		BackwardDur:     backwardDur,
+		TotalDur:        time.Since(book.totalStart),
+		ForwardRecords:  delta(e.stats.RecForwardRecords, book.statsBefore.RecForwardRecords),
+		Redone:          delta(e.stats.RecRedone, book.statsBefore.RecRedone),
+		BackwardVisited: delta(e.stats.RecBackwardVisited, book.statsBefore.RecBackwardVisited),
+		BackwardSkipped: delta(e.stats.RecBackwardSkipped, book.statsBefore.RecBackwardSkipped),
+		Clusters:        e.met.undoClusters.Load() - book.clustersBefore,
+		CLRs:            delta(e.stats.RecCLRs, book.statsBefore.RecCLRs),
+		Losers:          delta(e.stats.RecLosers, book.statsBefore.RecLosers),
+		Winners:         delta(e.stats.RecWinners, book.statsBefore.RecWinners),
+	}
+	tr.Stages = []RecoveryStage{
+		{Name: "forward", Dur: tr.ForwardDur, Units: tr.ForwardRecords},
+		{Name: "backward", Dur: tr.BackwardDur, Units: tr.BackwardVisited},
+	}
+	e.emitRecoveryTraceLocked(tr)
+	return nil
+}
+
+// emitRecoveryTraceLocked stores tr as the last recovery trace and feeds
+// the cumulative recovery metrics and the completion event from it.
+// Shared by sequential recovery, promotion and the parallel pipeline's
+// finisher (which holds the latch when it calls).
+func (e *Engine) emitRecoveryTraceLocked(tr RecoveryTrace) {
+	e.lastTrace = tr
+	e.met.recForwardRecords.Add(tr.ForwardRecords)
+	e.met.recRedone.Add(tr.Redone)
+	e.met.recCLRs.Add(tr.CLRs)
+	e.met.recLosers.Add(tr.Losers)
+	e.met.recWinners.Add(tr.Winners)
+	e.met.recForwardNs.Observe(tr.ForwardDur)
+	e.met.recBackwardNs.Observe(tr.BackwardDur)
+	e.met.recTotalNs.Observe(tr.TotalDur)
+	if e.reg.HasEventHook() {
+		e.reg.Emit(obs.Event{Name: "recovery.complete", Value: int64(tr.CLRs), Dur: tr.TotalDur})
+	}
+}
+
+// classifyLocked identifies winners and losers from the transaction
+// table after the forward pass (§3.6.1): winners whose End record was
+// lost get one appended and leave the tables; everything else is a loser
+// and contributes its owned scopes to LsrScopes.  Shared by sequential
+// recovery, promotion, and the parallel pipeline's setup phase.
+func (e *Engine) classifyLocked() (losers []wal.TxID, lsrScopes []delegation.Scope, err error) {
+	for _, info := range e.txns.Snapshot() {
+		if info.Status == txn.Committed {
+			// Winner whose End record was lost with the crash:
+			// its effects are already redone; finish bookkeeping.
+			if _, err := e.log.Append(&wal.Record{Type: wal.TypeEnd, TxID: info.ID, PrevLSN: info.LastLSN}); err != nil {
+				return nil, nil, err
+			}
+			e.txns.Remove(info.ID)
+			delete(e.state, info.ID)
+			continue
+		}
+		losers = append(losers, info.ID)
+	}
+	for _, id := range losers {
+		e.stats.RecLosers++
+		if ol := e.state[id]; ol != nil {
+			lsrScopes = append(lsrScopes, ol.OwnedScopes(id)...)
+		}
+	}
+	return losers, lsrScopes, nil
+}
+
+// terminateLosers appends the Abort (where needed) and End records that
+// finish every loser and drops them from the volatile tables.  The
+// caller owns the transaction table — either by holding the engine latch
+// (sequential recovery) or by being the pipeline's finisher after its
+// workers have drained.
+func (e *Engine) terminateLosers(losers []wal.TxID) error {
 	for _, id := range losers {
 		info := e.txns.Get(id)
 		if info == nil {
@@ -311,38 +396,6 @@ func (e *Engine) finishRecoveryLocked(rs *replayState, book recoveryBook) error 
 		e.txns.Remove(id)
 		delete(e.state, id)
 	}
-	if err := e.log.Flush(e.log.Head()); err != nil {
-		return err
-	}
-	e.crashed = false
-
-	// ---- Record the trace and the cumulative recovery metrics. ----
-	delta := func(after, before uint64) uint64 { return after - before }
-	e.lastTrace = RecoveryTrace{
-		ForwardDur:      book.forwardDur,
-		BackwardDur:     backwardDur,
-		TotalDur:        time.Since(book.totalStart),
-		ForwardRecords:  delta(e.stats.RecForwardRecords, book.statsBefore.RecForwardRecords),
-		Redone:          delta(e.stats.RecRedone, book.statsBefore.RecRedone),
-		BackwardVisited: delta(e.stats.RecBackwardVisited, book.statsBefore.RecBackwardVisited),
-		BackwardSkipped: delta(e.stats.RecBackwardSkipped, book.statsBefore.RecBackwardSkipped),
-		Clusters:        e.met.undoClusters.Load() - book.clustersBefore,
-		CLRs:            delta(e.stats.RecCLRs, book.statsBefore.RecCLRs),
-		Losers:          delta(e.stats.RecLosers, book.statsBefore.RecLosers),
-		Winners:         delta(e.stats.RecWinners, book.statsBefore.RecWinners),
-	}
-	e.met.recForwardRecords.Add(e.lastTrace.ForwardRecords)
-	e.met.recRedone.Add(e.lastTrace.Redone)
-	e.met.recCLRs.Add(e.lastTrace.CLRs)
-	e.met.recLosers.Add(e.lastTrace.Losers)
-	e.met.recWinners.Add(e.lastTrace.Winners)
-	e.met.recForwardNs.Observe(book.forwardDur)
-	e.met.recBackwardNs.Observe(backwardDur)
-	e.met.recTotalNs.Observe(e.lastTrace.TotalDur)
-	if e.reg.HasEventHook() {
-		e.reg.Emit(obs.Event{Name: "recovery.complete", Value: int64(e.lastTrace.CLRs), Dur: e.lastTrace.TotalDur})
-	}
-	// RecoveryComplete.
 	return nil
 }
 

@@ -159,6 +159,39 @@ func (s *Store) PageLSN(obj wal.ObjectID) (wal.LSN, error) {
 	return page.LSN, nil
 }
 
+// PageOf returns the page currently holding obj without allocating one
+// for unknown objects.  Parallel recovery uses it to group redo work and
+// to seed per-page baselines: an absent object has no stable image, so
+// its redo baseline is NilLSN.
+func (s *Store) PageOf(obj wal.ObjectID) (storage.PageID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.dir[obj]
+	return r.pid, ok
+}
+
+// Locate returns the page holding obj, allocating a slot (and, if
+// needed, a page) for objects not yet stored.  Parallel recovery calls
+// it before the first write touching obj so the page's pre-recovery
+// pageLSN can be captured while it is still the stable one.
+func (s *Store) Locate(obj wal.ObjectID) (storage.PageID, error) {
+	r, err := s.locate(obj)
+	return r.pid, err
+}
+
+// PageLSNAt returns the pageLSN of page pid.  Unlike PageLSN it is
+// keyed by page, not object: recovery baselines are per page, because a
+// page flushed at pageLSN pl covers the updates with LSN ≤ pl of every
+// object stored in it.
+func (s *Store) PageLSNAt(pid storage.PageID) (wal.LSN, error) {
+	page, err := s.pool.Fetch(pid)
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	defer s.pool.Unpin(pid, false, wal.NilLSN)
+	return page.LSN, nil
+}
+
 // locate returns the rid for obj, allocating a slot (and, if needed, a
 // page) for new objects.
 func (s *Store) locate(obj wal.ObjectID) (rid, error) {

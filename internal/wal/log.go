@@ -934,6 +934,51 @@ func (l *Log) Scan(from, to LSN, fn func(*Record) (bool, error)) error {
 	return nil
 }
 
+// RecordShards returns one slice of decoded records per live segment,
+// oldest segment first, covering every record with LSN in [from, head]
+// (NilLSN means "from the log's base").  The slices alias the log's
+// in-memory record cache under one latch acquisition: callers MUST
+// treat both the slices and the records as read-only.
+//
+// This is the parallel-recovery scan surface.  Sealed segments are
+// immutable, so their shards may be walked by concurrent workers with
+// no further synchronization; the active segment's shard is a
+// snapshot — records appended after the call (e.g. recovery's own
+// CLRs) are not visible through it, which is exactly what a recovery
+// scan wants.  The crash contract is the caller's: shards reflect the
+// volatile image, so take them only after Crash/open reloaded the log
+// from the durable segment files (as Recover does).  Records below an
+// Archive that runs after the call are served from the snapshot, not
+// an error — do not hold shards across an Archive.
+func (l *Log) RecordShards(from LSN) [][]*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from == NilLSN {
+		from = 1
+	}
+	if from <= l.base {
+		from = l.base + 1
+	}
+	shards := make([][]*Record, 0, len(l.segs))
+	for _, seg := range l.segs {
+		if len(seg.cache) == 0 {
+			continue
+		}
+		lo := 0
+		if from > seg.firstLSN {
+			lo = int(from - seg.firstLSN)
+		}
+		if lo >= len(seg.cache) {
+			continue
+		}
+		hi := len(seg.cache)
+		// Full-slice expression: appends to the active segment's cache
+		// can never write into a shard's spare capacity.
+		shards = append(shards, seg.cache[lo:hi:hi])
+	}
+	return shards
+}
+
 // Rewrite mutates the record at lsn in place via fn and patches both the
 // volatile image and (if the record was already durable) the stable
 // segment device.  This is the physical "rewriting of history" of the

@@ -71,6 +71,15 @@ type StandbyOptions struct {
 	Dir string
 	// PoolSize is the buffer-pool capacity in pages (default 128).
 	PoolSize int
+	// ParallelRecovery makes Promote run its backward pass as the
+	// instant-restart pipeline: Promote returns once the undo sweep is
+	// started, the promoted DB reports StateRecovering and serves reads
+	// (each gated on the undo of the loser clusters covering its object)
+	// while writes return ErrRecovering until DB.WaitRecovered returns
+	// nil.  The promoted state is identical to a sequential promotion's;
+	// a pipeline failure leaves the engine a follower and Promote may be
+	// retried.
+	ParallelRecovery bool
 }
 
 // Standby is a hot-standby database: a follower engine continuously
@@ -93,7 +102,7 @@ func OpenStandby(opts ...StandbyOptions) (*Standby, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
-	engineOpts := core.Options{PoolSize: o.PoolSize, Follower: true}
+	engineOpts := core.Options{PoolSize: o.PoolSize, Follower: true, ParallelRecovery: o.ParallelRecovery}
 	cleanup := func() {}
 	if o.Dir != "" {
 		logDir, err := wal.OpenFileDir(filepath.Join(o.Dir, "wal"))
@@ -194,6 +203,11 @@ func (s *Standby) Metrics() MetricsSnapshot { return s.rep.Engine().Metrics() }
 // decreasing LSN order and undone via CLRs (§3.6.2) — there is no
 // promotion-specific recovery code.  Disconnect Follow first.  After a
 // successful Promote the Standby handle is dead; use the returned DB.
+//
+// With StandbyOptions.ParallelRecovery the sweep runs as a pipeline:
+// Promote returns immediately with the DB in StateRecovering — reads flow
+// throughout (never observing a half-undone object), writes are accepted
+// once DB.WaitRecovered returns nil.
 func (s *Standby) Promote() (*DB, error) {
 	eng, err := s.rep.Promote()
 	if err != nil {

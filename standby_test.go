@@ -202,3 +202,36 @@ func TestStandbySnapshotNeededSurfaces(t *testing.T) {
 		t.Fatalf("Follow = %v, want ErrSnapshotNeeded", err)
 	}
 }
+
+func TestStandbyParallelPromote(t *testing.T) {
+	// An empty-stream standby promoted through the pipeline: Promote
+	// returns with the sweep in flight (trivially short here) and the
+	// promoted DB accepts writes after WaitRecovered.
+	s, err := OpenStandby(StandbyOptions{ParallelRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := s.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitRecovered(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.Health().State; st != StateHealthy {
+		t.Fatalf("state = %v after promotion", st)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(1, []byte("post-promotion")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
