@@ -10,18 +10,19 @@
 #   make bench-e12 regenerate BENCH_E12.json (quick sizes)
 #   make bench-e13 regenerate BENCH_E13.json (quick sizes)
 #   make bench-e14 regenerate BENCH_E14.json (quick sizes)
+#   make bench-e15 regenerate BENCH_E15.json (quick sizes)
 
 GO ?= go
 
-.PHONY: check ci vet staticcheck build test race fuzz-short torture standby-demo bench bench-e8 bench-e11 bench-e12 bench-e13 bench-e14
+.PHONY: check ci vet staticcheck build test race fuzz-short torture standby-demo bench bench-e8 bench-e11 bench-e12 bench-e13 bench-e14 bench-e15
 
 check: vet build test race
 
 # Mirror of the CI pipeline: full race (not -short) on the latch-heavy
 # packages plus a short fuzz pass over both wire-format decoders.
 ci: vet staticcheck build test
-	$(GO) test -race ./internal/core ./internal/wal ./internal/repl
-	$(GO) test -race -short -run 'TestReadsDuringRecovery' ./internal/torture
+	$(GO) test -race ./internal/core ./internal/wal ./internal/repl ./internal/shard
+	$(GO) test -race -short -run 'TestReadsDuringRecovery|TestShardSweep' ./internal/torture
 	$(MAKE) fuzz-short
 
 # staticcheck is optional tooling: CI installs it, dev environments may
@@ -36,6 +37,7 @@ staticcheck:
 
 fuzz-short:
 	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 30s
+	$(GO) test ./internal/wal -run '^$$' -fuzz FuzzDecodePrepare -fuzztime 15s
 	$(GO) test ./internal/core -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 30s
 
 vet:
@@ -52,7 +54,7 @@ test:
 # subscriptions), the replication stream, and the sim stress tests that
 # drive them concurrently.
 race:
-	$(GO) test -race -short ./internal/core ./internal/wal ./internal/repl ./internal/sim ./internal/torture
+	$(GO) test -race -short ./internal/core ./internal/wal ./internal/repl ./internal/sim ./internal/shard ./internal/torture
 
 # Full fault-injection pass under the race detector: the complete crash
 # sweep at fixed seeds (no -short boundary cap), the replication
@@ -87,3 +89,6 @@ bench-e13:
 
 bench-e14:
 	$(GO) run ./cmd/rhbench -exp e14 -quick -json BENCH_E14.json
+
+bench-e15:
+	$(GO) run ./cmd/rhbench -exp e15 -quick -json BENCH_E15.json

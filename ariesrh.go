@@ -35,6 +35,7 @@ import (
 
 	"ariesrh/internal/core"
 	"ariesrh/internal/obs"
+	"ariesrh/internal/shard"
 	"ariesrh/internal/storage"
 	"ariesrh/internal/wal"
 )
@@ -83,6 +84,14 @@ var (
 	// with every transaction that violated its early-released locks.
 	// The Tx handle is terminated.  Wraps the device error.
 	ErrCommitAborted = core.ErrCommitAborted
+	// ErrSharded is returned by operations a sharded database
+	// (Options.Shards >= 2) does not support: per-LSN introspection
+	// (ResponsibleFor, MinRequiredLSN — LSNs are per-shard), savepoints,
+	// dependencies, permits, DelegateAll, backup and replication.  The
+	// core transactional surface — Read, Update, Increment, Delegate,
+	// Commit, Abort, Crash/Recover, Checkpoint, Metrics — is fully
+	// supported.
+	ErrSharded = errors.New("ariesrh: operation not supported on a sharded database")
 )
 
 // GroupCommitMode selects how Commit forces the log (re-exported from the
@@ -130,6 +139,28 @@ type Options struct {
 	// crash contract.  Requires group commit (ignored with
 	// GroupCommitOff).
 	EarlyLockRelease bool
+	// Shards, when >= 2, opens a sharded database: that many
+	// independent engines — each with its own write-ahead log, group
+	// flusher, lock manager and buffer pool — behind an object→shard
+	// router.  Transactions that touch one shard commit through that
+	// engine's ordinary path, untouched; transactions that write on
+	// several run a two-phase commit logged on the participant shards'
+	// own logs (the coordinator's forced commit record is the global
+	// decision; no decision durable means abort), and Tx.Delegate
+	// crosses shards via paired delegate-out/delegate-in records so
+	// undo stays local to each shard.  A nil Commit error means the
+	// decision is on stable storage and the transaction survives any
+	// crash of any subset of shards.  0 and 1 mean unsharded — the
+	// single-engine database, byte-for-byte the same behaviour as
+	// before the option existed.  See ErrSharded for the operations a
+	// sharded database rejects.
+	Shards int
+	// ShardRouter overrides the object→shard mapping (nil means a
+	// stable Fibonacci hash).  Only consulted when Shards >= 2.  The
+	// router must be a pure function of (object, shard count), stable
+	// across restarts: recovery replays each shard's log independently
+	// and a moved object would resurrect on the wrong shard.
+	ShardRouter ShardRouter
 	// ParallelRecovery makes Recover (and a reopened database's implicit
 	// recovery) run as the instant-restart pipeline: a parallel scan of
 	// the log segments builds per-object redo chains, redo happens on
@@ -148,10 +179,17 @@ type Options struct {
 	ParallelRecovery bool
 }
 
+// ShardRouter maps objects to shards for a sharded database
+// (re-exported from internal/shard).  Route(obj, shards) must return a
+// value in [0, shards) and be a pure, restart-stable function of its
+// arguments.
+type ShardRouter = shard.Router
+
 // DB is a handle to an ARIES/RH database.
 type DB struct {
 	eng *core.Engine
-	dir string // non-empty for file-backed databases
+	sh  *shard.DB // non-nil when opened with Options.Shards >= 2 (eng is nil then)
+	dir string    // non-empty for file-backed databases
 }
 
 // Open creates or reopens a database.  With no options the database is
@@ -162,6 +200,24 @@ func Open(opts ...Options) (*DB, error) {
 	var o Options
 	if len(opts) > 0 {
 		o = opts[0]
+	}
+	if o.Shards >= 2 {
+		if o.FaultDir != nil {
+			return nil, errors.New("ariesrh: Options.FaultDir is not supported with Shards >= 2 (per-shard fault injection lives in internal/shard.Options.LogDirs)")
+		}
+		sh, err := shard.Open(shard.Options{
+			Shards:           o.Shards,
+			Dir:              o.Dir,
+			PoolSize:         o.PoolSize,
+			GroupCommit:      o.GroupCommit,
+			EarlyLockRelease: o.EarlyLockRelease,
+			ParallelRecovery: o.ParallelRecovery,
+			Router:           o.ShardRouter,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &DB{sh: sh, dir: o.Dir}, nil
 	}
 	engineOpts := core.Options{
 		PoolSize:         o.PoolSize,
@@ -211,8 +267,18 @@ func Open(opts ...Options) (*DB, error) {
 	return &DB{eng: eng, dir: o.Dir}, nil
 }
 
-// Begin starts a transaction.
+// Begin starts a transaction.  On a sharded database the transaction
+// is global: it lazily opens a local branch on each shard it touches
+// and commits through the single-shard fast path or two-phase commit
+// as appropriate.
 func (db *DB) Begin() (*Tx, error) {
+	if db.sh != nil {
+		stx, err := db.sh.Begin()
+		if err != nil {
+			return nil, err
+		}
+		return &Tx{db: db, stx: stx}, nil
+	}
 	id, err := db.eng.Begin()
 	if err != nil {
 		return nil, err
@@ -221,15 +287,28 @@ func (db *DB) Begin() (*Tx, error) {
 }
 
 // Checkpoint takes a fuzzy checkpoint, bounding the work of the next
-// recovery.
-func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+// recovery.  Sharded databases checkpoint every shard (per-shard
+// checkpoints need no mutual atomicity: each shard's checkpoint
+// carries that shard's prepared transactions and retained decisions).
+func (db *DB) Checkpoint() error {
+	if db.sh != nil {
+		return db.sh.Checkpoint()
+	}
+	return db.eng.Checkpoint()
+}
 
 // Crash simulates a failure: the buffer pool, lock table, transaction
 // table, delegation state and unflushed log tail are lost.  All live Tx
 // handles become invalid.  Call Recover before issuing new work.  Crash
 // also clears degraded mode — the restart is the repair action; if the
-// device is still broken, Recover fails instead.
-func (db *DB) Crash() error { return db.eng.Crash() }
+// device is still broken, Recover fails instead.  Sharded databases
+// crash every shard (a whole-cluster failure).
+func (db *DB) Crash() error {
+	if db.sh != nil {
+		return db.sh.Crash()
+	}
+	return db.eng.Crash()
+}
 
 // Recover replays the log after a Crash: one forward analysis+redo pass,
 // then a backward pass undoing exactly the updates whose final delegatee
@@ -240,7 +319,17 @@ func (db *DB) Crash() error { return db.eng.Crash() }
 // With Options.ParallelRecovery, Recover returns once the pipeline is
 // started: reads are served immediately (each triggering on-demand redo
 // of its own object), writes return ErrRecovering until WaitRecovered.
-func (db *DB) Recover() error { return db.eng.Recover() }
+//
+// Sharded databases recover every shard concurrently, then resolve
+// in-doubt two-phase participants from the coordinator shard's durable
+// decision (presumed abort when none exists); a nil return means every
+// shard is writable and no transaction is in doubt.
+func (db *DB) Recover() error {
+	if db.sh != nil {
+		return db.sh.Recover()
+	}
+	return db.eng.Recover()
+}
 
 // WaitRecovered blocks until the in-flight parallel recovery (or
 // promotion) pipeline completes and returns its outcome: nil once the
@@ -248,7 +337,12 @@ func (db *DB) Recover() error { return db.eng.Recover() }
 // database is back in StateCrashed and Recover may be retried.  Without
 // Options.ParallelRecovery (or with no recovery running) it returns
 // immediately: nil when healthy, ErrCrashed between Crash and Recover.
-func (db *DB) WaitRecovered() error { return db.eng.WaitRecovered() }
+func (db *DB) WaitRecovered() error {
+	if db.sh != nil {
+		return db.sh.WaitRecovered()
+	}
+	return db.eng.WaitRecovered()
+}
 
 // HealthState enumerates DB availability states (re-exported from the
 // engine).
@@ -277,14 +371,24 @@ const (
 type Health = core.Health
 
 // Health returns the database's availability state.  It never touches
-// the device and is answerable in every state.
-func (db *DB) Health() Health { return db.eng.Health() }
+// the device and is answerable in every state.  Sharded databases
+// report the worst state across shards (any cross-shard transaction
+// may need any shard).
+func (db *DB) Health() Health {
+	if db.sh != nil {
+		return db.sh.Health()
+	}
+	return db.eng.Health()
+}
 
 // ReadCommitted returns the current stable/buffered value of obj without
 // any transactional context.  Objects that were never written — or whose
 // writes were all undone, restoring the initial empty value — return
 // ok=false.
 func (db *DB) ReadCommitted(obj ObjectID) (val []byte, ok bool, err error) {
+	if db.sh != nil {
+		return db.sh.ReadCommitted(obj)
+	}
 	v, present, err := db.eng.ReadObject(obj)
 	if err != nil || !present || len(v) == 0 {
 		return nil, false, err
@@ -294,13 +398,43 @@ func (db *DB) ReadCommitted(obj ObjectID) (val []byte, ok bool, err error) {
 
 // ResponsibleFor returns the transaction currently responsible for the
 // update logged at lsn — the paper's ResponsibleTr, the lens through
-// which history appears rewritten.
+// which history appears rewritten.  Sharded databases return
+// ErrSharded: LSNs are per-shard coordinates.
 func (db *DB) ResponsibleFor(lsn uint64) (TxID, error) {
+	if db.sh != nil {
+		return 0, ErrSharded
+	}
 	return db.eng.ResponsibleFor(wal.LSN(lsn))
 }
 
 // Stats returns engine counters (updates, delegations, recovery work...).
-func (db *DB) Stats() core.Stats { return db.eng.Stats() }
+// Sharded databases return the sum across shards.
+func (db *DB) Stats() core.Stats {
+	if db.sh != nil {
+		var out core.Stats
+		for i := 0; i < db.sh.Shards(); i++ {
+			s := db.sh.Engine(i).Stats()
+			out.Begins += s.Begins
+			out.Updates += s.Updates
+			out.Reads += s.Reads
+			out.Delegations += s.Delegations
+			out.Commits += s.Commits
+			out.Aborts += s.Aborts
+			out.CLRs += s.CLRs
+			out.Checkpoints += s.Checkpoints
+			out.RecForwardRecords += s.RecForwardRecords
+			out.RecRedone += s.RecRedone
+			out.RecUndone += s.RecUndone
+			out.RecBackwardVisited += s.RecBackwardVisited
+			out.RecBackwardSkipped += s.RecBackwardSkipped
+			out.RecCLRs += s.RecCLRs
+			out.RecLosers += s.RecLosers
+			out.RecWinners += s.RecWinners
+		}
+		return out
+	}
+	return db.eng.Stats()
+}
 
 // MetricsSnapshot is a point-in-time copy of every metric in the
 // database's registry (re-exported from internal/obs).  Subtract two
@@ -321,40 +455,99 @@ type RecoveryTrace = core.RecoveryTrace
 // operation counters and latency histograms, WAL append/flush/scan
 // counters (including group-commit coalescing), buffer-pool
 // hit/miss/eviction counters and lock-manager wait counters.
-func (db *DB) Metrics() MetricsSnapshot { return db.eng.Metrics() }
+//
+// Sharded databases return one cluster-wide snapshot: router series
+// ("router.*" — commit routing, cross-shard delegations, two-phase
+// latency) under their own names, every engine series both aggregated
+// under its base name (counters and gauges summed, histograms merged)
+// and broken down per shard under a "shard.<i>." prefix.
+func (db *DB) Metrics() MetricsSnapshot {
+	if db.sh != nil {
+		return db.sh.Metrics()
+	}
+	return db.eng.Metrics()
+}
 
 // SetEventHook installs fn to receive structured trace events
 // (transaction terminations, delegations, group flushes, undo visits,
 // recovery completion); nil uninstalls.  The hook runs synchronously on
 // the emitting goroutine, often with internal latches held: it must be
 // fast and must not call back into the database.
-func (db *DB) SetEventHook(fn func(Event)) { db.eng.SetEventHook(fn) }
+func (db *DB) SetEventHook(fn func(Event)) {
+	if db.sh != nil {
+		db.sh.SetEventHook(fn)
+		return
+	}
+	db.eng.SetEventHook(fn)
+}
 
 // LastRecoveryTrace returns the trace of the most recent Recover (zero
-// value if recovery has not run).
-func (db *DB) LastRecoveryTrace() RecoveryTrace { return db.eng.LastRecoveryTrace() }
+// value if recovery has not run).  Sharded databases return the merged
+// cluster view — counts summed across shards, durations the maximum
+// over shards, since shard recoveries run concurrently.
+func (db *DB) LastRecoveryTrace() RecoveryTrace {
+	if db.sh != nil {
+		return db.sh.LastRecoveryTrace()
+	}
+	return db.eng.LastRecoveryTrace()
+}
 
-// Engine exposes the underlying engine for tools and benchmarks.
+// Engine exposes the underlying engine for tools and benchmarks; nil
+// for a sharded database (use Shards and internal/shard directly from
+// in-repo tools).
 func (db *DB) Engine() *core.Engine { return db.eng }
 
+// Shards returns the shard count: 1 for an unsharded database.
+func (db *DB) Shards() int {
+	if db.sh != nil {
+		return db.sh.Shards()
+	}
+	return 1
+}
+
 // Close flushes everything and releases file handles.
-func (db *DB) Close() error { return db.eng.Close() }
+func (db *DB) Close() error {
+	if db.sh != nil {
+		return db.sh.Close()
+	}
+	return db.eng.Close()
+}
 
 // Tx is a handle to one transaction.  A Tx is not safe for concurrent use
 // by multiple goroutines; different Tx values are.
+//
+// On a sharded database a Tx is a global transaction: operations route
+// to each object's home shard, opening a local branch there on first
+// touch, and Commit runs the single-shard fast path or two-phase
+// commit depending on how many shards the transaction wrote on.
 type Tx struct {
 	db   *DB
 	id   TxID
+	stx  *shard.Txn // non-nil on a sharded database (id is 0 then)
 	done bool
 }
 
-// ID returns the transaction's identifier.
+// ID returns the transaction's identifier.  On a sharded database the
+// single TxID is meaningless (each branch has its own local id); ID
+// returns 0 there — use GID instead.
 func (tx *Tx) ID() TxID { return tx.id }
+
+// GID returns the transaction's cluster-wide identifier on a sharded
+// database (0 on an unsharded one, where ID is the identifier).
+func (tx *Tx) GID() uint64 {
+	if tx.stx != nil {
+		return tx.stx.GID()
+	}
+	return 0
+}
 
 // Read returns tx's view of obj under a shared lock.
 func (tx *Tx) Read(obj ObjectID) ([]byte, error) {
 	if tx.done {
 		return nil, ErrTxDone
+	}
+	if tx.stx != nil {
+		return tx.stx.Read(obj)
 	}
 	return tx.db.eng.Read(tx.id, obj)
 }
@@ -368,12 +561,21 @@ func (tx *Tx) Update(obj ObjectID, val []byte) error {
 	if tx.done {
 		return ErrTxDone
 	}
+	if tx.stx != nil {
+		return tx.stx.Update(obj, val)
+	}
 	return tx.db.eng.Update(tx.id, obj, val)
 }
 
 // Delegate transfers responsibility for tx's updates on obj to the
 // transaction to.  Afterwards, to's commit or abort decides the fate of
 // those updates; tx may keep operating on the object.
+//
+// On a sharded database the transfer happens between the two global
+// transactions' local branches on obj's home shard — undo never
+// crosses a shard boundary — with paired delegate-out/delegate-in
+// records when the delegatee coordinates elsewhere.  Durability rides
+// the delegatee's eventual commit, exactly like an ordinary update.
 func (tx *Tx) Delegate(to *Tx, obj ObjectID) error {
 	if tx.done {
 		return ErrTxDone
@@ -381,17 +583,25 @@ func (tx *Tx) Delegate(to *Tx, obj ObjectID) error {
 	if to.done {
 		return ErrTxDone
 	}
+	if tx.stx != nil {
+		return tx.stx.Delegate(to.stx, obj)
+	}
 	return tx.db.eng.Delegate(tx.id, to.id, obj)
 }
 
 // DelegateAll delegates every object in tx's object list to to — the
 // "delegate(t2, t1)" form used by join and by nested-transaction commit.
+// DelegateAll returns ErrSharded on a sharded database (delegate the
+// objects individually).
 func (tx *Tx) DelegateAll(to *Tx) error {
 	if tx.done {
 		return ErrTxDone
 	}
 	if to.done {
 		return ErrTxDone
+	}
+	if tx.stx != nil {
+		return ErrSharded
 	}
 	return tx.db.eng.DelegateAll(tx.id, to.id)
 }
@@ -406,6 +616,9 @@ func (tx *Tx) Increment(obj ObjectID, delta int64) (int64, error) {
 	if tx.done {
 		return 0, ErrTxDone
 	}
+	if tx.stx != nil {
+		return tx.stx.Increment(obj, delta)
+	}
 	return tx.db.eng.Increment(tx.id, obj, delta)
 }
 
@@ -414,12 +627,18 @@ func (tx *Tx) ReadCounter(obj ObjectID) (int64, error) {
 	if tx.done {
 		return 0, ErrTxDone
 	}
+	if tx.stx != nil {
+		return tx.stx.ReadCounter(obj)
+	}
 	return tx.db.eng.ReadCounter(tx.id, obj)
 }
 
 // CounterValue reads the committed/buffered counter value without any
 // transactional context.
 func (db *DB) CounterValue(obj ObjectID) (int64, error) {
+	if db.sh != nil {
+		return db.sh.CounterValue(obj)
+	}
 	return db.eng.CounterValue(obj)
 }
 
@@ -453,6 +672,9 @@ func (tx *Tx) FormDependency(on *Tx, kind DependencyKind) error {
 	if tx.done || on.done {
 		return ErrTxDone
 	}
+	if tx.stx != nil {
+		return ErrSharded
+	}
 	return tx.db.eng.FormDependency(tx.id, on.id, kind)
 }
 
@@ -463,14 +685,21 @@ func (tx *Tx) Permit(to *Tx, obj ObjectID) error {
 	if tx.done || to.done {
 		return ErrTxDone
 	}
+	if tx.stx != nil {
+		return ErrSharded
+	}
 	return tx.db.eng.Permit(tx.id, to.id, obj)
 }
 
 // Objects returns the objects tx is currently responsible for (its
-// Ob_List in the paper's terms), sorted.
+// Ob_List in the paper's terms), sorted.  ErrSharded on a sharded
+// database.
 func (tx *Tx) Objects() ([]ObjectID, error) {
 	if tx.done {
 		return nil, ErrTxDone
+	}
+	if tx.stx != nil {
+		return nil, ErrSharded
 	}
 	return tx.db.eng.ObjectsOf(tx.id)
 }
@@ -489,6 +718,11 @@ func (tx *Tx) DB() *DB { return tx.db }
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
+	}
+	if tx.stx != nil {
+		err := tx.stx.Commit()
+		tx.done = tx.stx.Done()
+		return err
 	}
 	if err := tx.db.eng.Commit(tx.id); err != nil {
 		if errors.Is(err, ErrCommitAborted) {
@@ -515,6 +749,11 @@ func (tx *Tx) Abort() error {
 	if tx.done {
 		return ErrTxDone
 	}
+	if tx.stx != nil {
+		err := tx.stx.Abort()
+		tx.done = tx.stx.Done()
+		return err
+	}
 	if err := tx.db.eng.Abort(tx.id); err != nil {
 		return err
 	}
@@ -533,9 +772,13 @@ func (tx *Tx) Done() bool { return tx.done }
 type Savepoint struct{ sp core.Savepoint }
 
 // Savepoint records a rollback point at the transaction's current state.
+// ErrSharded on a sharded database.
 func (tx *Tx) Savepoint() (Savepoint, error) {
 	if tx.done {
 		return Savepoint{}, ErrTxDone
+	}
+	if tx.stx != nil {
+		return Savepoint{}, ErrSharded
 	}
 	sp, err := tx.db.eng.Savepoint(tx.id)
 	return Savepoint{sp: sp}, err
@@ -549,13 +792,23 @@ func (tx *Tx) RollbackTo(sp Savepoint) error {
 	if tx.done {
 		return ErrTxDone
 	}
+	if tx.stx != nil {
+		return ErrSharded
+	}
 	return tx.db.eng.RollbackTo(sp.sp)
 }
 
 // MinRequiredLSN returns the oldest log record a future recovery could
 // need; the prefix before it is archivable.  Live delegated scopes can pin
 // the log arbitrarily far back — an operational consequence of delegation.
+// Unresolved two-phase state pins it too: an unreleased commit decision
+// holds the log at its prepare record until every participant has
+// learned the outcome.  ErrSharded on a sharded database (each shard
+// has its own LSN space; archive per shard via internal tools).
 func (db *DB) MinRequiredLSN() (uint64, error) {
+	if db.sh != nil {
+		return 0, ErrSharded
+	}
 	lsn, err := db.eng.MinRequiredLSN()
 	return uint64(lsn), err
 }

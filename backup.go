@@ -27,6 +27,9 @@ import (
 // (archived segments, superseded manifest generations) are deleted from
 // the destination so the copy is exactly the source directory.
 func (db *DB) Backup(destDir string) error {
+	if db.sh != nil {
+		return ErrSharded
+	}
 	if db.dir == "" {
 		return fmt.Errorf("ariesrh: backup requires a file-backed database")
 	}

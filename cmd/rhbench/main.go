@@ -24,8 +24,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: e1..e14, a1, or all")
+	exp := flag.String("exp", "all", "experiment to run: e1..e15, a1, or all")
 	quick := flag.Bool("quick", false, "use smaller workload sizes")
+	shards := flag.Int("shards", 0, "e15: sweep shard counts {1, N} instead of the default {1, 2, 4, 8}")
 	jsonPath := flag.String("json", "", "also write the tables as a JSON array to this file")
 	flag.Parse()
 
@@ -137,6 +138,24 @@ func main() {
 			}
 			return bench.E14InstantRestart(lengths, 8, 16)
 		}},
+		{"e15", func() (*bench.Table, error) {
+			// 64 committers against 1/2/4/8 shards: with group commit
+			// off the device is the bottleneck, so throughput tracks the
+			// number of independent per-shard force channels.
+			counts := []int{1, 2, 4, 8}
+			committers, txnsPer, updatesPer, delay := 64, 32, 4, 200*time.Microsecond
+			if *quick {
+				counts = []int{1, 4}
+				txnsPer, delay = 12, 100*time.Microsecond
+			}
+			if *shards > 0 {
+				counts = []int{1}
+				if *shards != 1 {
+					counts = append(counts, *shards)
+				}
+			}
+			return bench.E15ShardScaling(counts, committers, txnsPer, updatesPer, delay)
+		}},
 	}
 
 	var tables []*bench.Table
@@ -154,7 +173,7 @@ func main() {
 		tables = append(tables, table)
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want e1..e14, a1, or all)", *exp)
+		log.Fatalf("unknown experiment %q (want e1..e15, a1, or all)", *exp)
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(tables, "", "  ")

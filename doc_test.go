@@ -16,7 +16,7 @@ import (
 // style nit — the durability semantics of this library live in those
 // comments.
 func TestDocComments(t *testing.T) {
-	dirs := []string{".", "internal/wal", "internal/fault", "internal/torture"}
+	dirs := []string{".", "internal/wal", "internal/fault", "internal/torture", "internal/shard"}
 	for _, dir := range dirs {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {

@@ -21,6 +21,15 @@ type checkpointData struct {
 	txns     []txn.Info
 	state    delegation.State
 	dpt      map[storage.PageID]wal.LSN
+	// 2PC state (internal/core/twopc.go): in-doubt participants and
+	// retained coordinator decisions at checkpoint time.  A recovery that
+	// starts analysis at the checkpoint would otherwise miss prepare
+	// records logged before it — an in-doubt transaction, or a decision a
+	// peer shard may still ask for, must never silently vanish behind a
+	// checkpoint.  Encoded as optional trailing sections so pre-2PC
+	// checkpoint payloads still decode.
+	prepared map[wal.TxID]preparedInfo
+	globals  map[uint64]globalDecision
 }
 
 func encodeCheckpoint(d *checkpointData) []byte {
@@ -45,6 +54,32 @@ func encodeCheckpoint(d *checkpointData) []byte {
 	for _, pid := range pids {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(pid))
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.dpt[pid]))
+	}
+	// Trailing 2PC sections (absent in pre-2PC payloads): prepared
+	// participants, then retained decisions, both in sorted order so the
+	// encoding is deterministic.
+	txs := make([]wal.TxID, 0, len(d.prepared))
+	for tx := range d.prepared {
+		txs = append(txs, tx)
+	}
+	sort.Slice(txs, func(i, j int) bool { return txs[i] < txs[j] })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(txs)))
+	for _, tx := range txs {
+		pi := d.prepared[tx]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(tx))
+		buf = binary.LittleEndian.AppendUint64(buf, pi.gid)
+		buf = binary.LittleEndian.AppendUint32(buf, pi.coord)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(pi.prepareLSN))
+	}
+	gids := make([]uint64, 0, len(d.globals))
+	for gid := range d.globals {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(gids)))
+	for _, gid := range gids {
+		buf = binary.LittleEndian.AppendUint64(buf, gid)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(d.globals[gid].prepareLSN))
 	}
 	return buf
 }
@@ -105,6 +140,42 @@ func decodeCheckpoint(buf []byte) (*checkpointData, error) {
 		pid := storage.PageID(binary.LittleEndian.Uint32(buf[off:]))
 		d.dpt[pid] = wal.LSN(binary.LittleEndian.Uint64(buf[off+4:]))
 		off += 12
+	}
+	d.prepared = map[wal.TxID]preparedInfo{}
+	d.globals = map[uint64]globalDecision{}
+	if off == len(buf) {
+		// Pre-2PC payload: no trailing sections.
+		return d, nil
+	}
+	if !need(4) {
+		return fail()
+	}
+	nPrep := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	for i := 0; i < nPrep; i++ {
+		if !need(4 + 8 + 4 + 8) {
+			return fail()
+		}
+		tx := wal.TxID(binary.LittleEndian.Uint32(buf[off:]))
+		d.prepared[tx] = preparedInfo{
+			gid:        binary.LittleEndian.Uint64(buf[off+4:]),
+			coord:      binary.LittleEndian.Uint32(buf[off+12:]),
+			prepareLSN: wal.LSN(binary.LittleEndian.Uint64(buf[off+16:])),
+		}
+		off += 24
+	}
+	if !need(4) {
+		return fail()
+	}
+	nGlob := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	for i := 0; i < nGlob; i++ {
+		if !need(8 + 8) {
+			return fail()
+		}
+		gid := binary.LittleEndian.Uint64(buf[off:])
+		d.globals[gid] = globalDecision{prepareLSN: wal.LSN(binary.LittleEndian.Uint64(buf[off+8:]))}
+		off += 16
 	}
 	if off != len(buf) {
 		return nil, fmt.Errorf("core: %d trailing bytes in checkpoint payload", len(buf)-off)

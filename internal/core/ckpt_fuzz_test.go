@@ -52,6 +52,16 @@ func sampleCheckpoints() []*checkpointData {
 			state: delegation.State{3: olA, 5: olB},
 			dpt:   map[storage.PageID]wal.LSN{0: 41, 9: 12, 4: 40},
 		},
+		{
+			beginLSN: 60,
+			txns: []txn.Info{
+				{ID: 8, Status: txn.Prepared, LastLSN: 58, UndoNextLSN: 55},
+			},
+			state:    delegation.State{},
+			dpt:      map[storage.PageID]wal.LSN{},
+			prepared: map[wal.TxID]preparedInfo{8: {gid: 91, coord: 2, prepareLSN: 58}},
+			globals:  map[uint64]globalDecision{90: {prepareLSN: 50}, 89: {prepareLSN: 44}},
+		},
 	}
 }
 
@@ -79,7 +89,8 @@ func FuzzDecodeCheckpoint(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted payload does not re-decode: %v", err)
 		}
-		if d2.beginLSN != d.beginLSN || !reflect.DeepEqual(d2.txns, d.txns) || !reflect.DeepEqual(d2.dpt, d.dpt) {
+		if d2.beginLSN != d.beginLSN || !reflect.DeepEqual(d2.txns, d.txns) || !reflect.DeepEqual(d2.dpt, d.dpt) ||
+			!reflect.DeepEqual(d2.prepared, d.prepared) || !reflect.DeepEqual(d2.globals, d.globals) {
 			t.Fatalf("round trip changed checkpoint:\n in  %+v\n out %+v", d, d2)
 		}
 		if enc2 := encodeCheckpoint(d2); !bytes.Equal(enc2, enc) {

@@ -275,6 +275,15 @@ type Engine struct {
 	// bookkeeping.  Entries leave via durableNotify (record reached the
 	// device), elrFlushFailureLocked (flush failed; rollback), or Crash.
 	predurable map[wal.TxID]pendingCommit
+	// prepared maps each in-doubt 2PC participant (status txn.Prepared)
+	// to its global-transaction bookkeeping; globals retains coordinator-
+	// side commit decisions until ReleaseGlobal, pinning the archive at
+	// their prepare LSNs; maxGID is the highest global id seen.  All
+	// three are rebuilt by recovery from the log and checkpoint state.
+	// See internal/core/twopc.go.
+	prepared map[wal.TxID]preparedInfo
+	globals  map[uint64]globalDecision
+	maxGID   uint64
 
 	master  *masterRecord
 	crashed bool
@@ -343,6 +352,8 @@ func New(opts Options) (*Engine, error) {
 		state:      delegation.State{},
 		deps:       make(map[wal.TxID][]depEdge),
 		predurable: make(map[wal.TxID]pendingCommit),
+		prepared:   make(map[wal.TxID]preparedInfo),
+		globals:    make(map[uint64]globalDecision),
 		master:     &masterRecord{store: opts.MasterStore},
 		opts:       opts,
 		reg:        reg,
@@ -664,6 +675,10 @@ func (e *Engine) Crash() error {
 	// against this (now empty) map, so a post-recovery reuse of the same
 	// TxID/LSN pair can never be touched by a stale delivery.
 	e.predurable = make(map[wal.TxID]pendingCommit)
+	// 2PC state is volatile too: recovery rebuilds in-doubt participants
+	// and retained decisions from the durable log and checkpoint.
+	e.prepared = make(map[wal.TxID]preparedInfo)
+	e.globals = make(map[uint64]globalDecision)
 	e.crashed = true
 	// A crash clears degraded mode: the restart is the repair action —
 	// if the device is still broken, Recover's final flush fails and the

@@ -161,6 +161,8 @@ func (e *Engine) recoverParallel() error {
 	// have died midway.
 	e.txns.Reset(1)
 	e.state = delegation.State{}
+	e.prepared = make(map[wal.TxID]preparedInfo)
+	e.globals = make(map[uint64]globalDecision)
 
 	e.met.recRuns.Inc()
 	book := recoveryBook{

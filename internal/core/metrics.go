@@ -41,8 +41,18 @@ type engineMetrics struct {
 	// and the transactions those rollbacks cascaded into.
 	elrCommits, elrViolations, elrFailedCommits, elrCascadeAborts *obs.Counter
 
+	// Cross-shard 2PC accounting (internal/shard): prepares voted,
+	// prepared transactions committed/aborted by a decision, and in-doubt
+	// transactions resolved after recovery by the coordinator's answer.
+	prepares, twopcCommits, twopcAborts,
+	indoubtCommitted, indoubtAborted,
+	delegateOuts, delegateIns *obs.Counter
+
 	// Per-operation end-to-end latency (lock waits included).
 	updateNs, delegateNs, commitNs, abortNs *obs.Histogram
+
+	// prepareNs is the end-to-end prepare latency, force included.
+	prepareNs *obs.Histogram
 
 	// elrAckDeferNs is the span an ELR committer spends between releasing
 	// its locks (commit-record append) and receiving the durability ack —
@@ -82,6 +92,14 @@ func bindEngineMetrics(r *obs.Registry) engineMetrics {
 		elrFailedCommits:  r.Counter("elr.failed_commits"),
 		elrCascadeAborts:  r.Counter("elr.cascade_aborts"),
 		elrAckDeferNs:     r.Histogram("elr.ack_defer_ns"),
+		prepares:          r.Counter("twopc.prepares"),
+		twopcCommits:      r.Counter("twopc.commits"),
+		twopcAborts:       r.Counter("twopc.aborts"),
+		indoubtCommitted:  r.Counter("twopc.indoubt_committed"),
+		indoubtAborted:    r.Counter("twopc.indoubt_aborted"),
+		delegateOuts:      r.Counter("twopc.delegate_out"),
+		delegateIns:       r.Counter("twopc.delegate_in"),
+		prepareNs:         r.Histogram("twopc.prepare_ns"),
 		updateNs:          r.Histogram("core.update_ns"),
 		delegateNs:        r.Histogram("core.delegate_ns"),
 		commitNs:          r.Histogram("core.commit_ns"),

@@ -189,6 +189,16 @@ func (e *Engine) Delegate(tor, tee wal.TxID, obj wal.ObjectID) error {
 // Factored out so DelegateAll can apply a whole batch under one latch
 // acquisition.
 func (e *Engine) delegateLocked(tor, tee wal.TxID, obj wal.ObjectID) error {
+	return e.delegateAsLocked(tor, tee, obj, wal.TypeDelegate, 0, 0)
+}
+
+// delegateAsLocked is the shared body of Delegate and DelegateOut: the
+// record type distinguishes a purely local delegation from the home-shard
+// half of a cross-shard one (which additionally stamps the delegatee's
+// global transaction id and coordinator shard onto the record).  The
+// volatile effects are identical — responsibility moves between two LOCAL
+// transactions on this engine's log either way.
+func (e *Engine) delegateAsLocked(tor, tee wal.TxID, obj wal.ObjectID, typ wal.RecordType, gid uint64, peer uint32) error {
 	start := time.Now()
 	if tor == tee {
 		return fmt.Errorf("core: delegate(t%d, t%d): delegator and delegatee must differ", tor, tee)
@@ -207,7 +217,7 @@ func (e *Engine) delegateLocked(tor, tee wal.TxID, obj wal.ObjectID) error {
 	}
 	// PREPARE + WRITE DELEGATION LOG RECORD (§3.5 steps 2 and 4).
 	rec := &wal.Record{
-		Type:    wal.TypeDelegate,
+		Type:    typ,
 		TxID:    tor,
 		PrevLSN: torInfo.LastLSN,
 		Tor:     tor,
@@ -215,6 +225,8 @@ func (e *Engine) delegateLocked(tor, tee wal.TxID, obj wal.ObjectID) error {
 		TorPrev: torInfo.LastLSN,
 		TeePrev: teeInfo.LastLSN,
 		Object:  obj,
+		GID:     gid,
+		Shard:   peer,
 	}
 	lsn, err := e.log.Append(rec)
 	if err != nil {
@@ -683,6 +695,8 @@ func (e *Engine) Checkpoint() error {
 		txns:     e.txns.Snapshot(),
 		state:    e.state,
 		dpt:      e.pool.DirtyPageTable(),
+		prepared: e.prepared,
+		globals:  e.globals,
 	})
 	endLSN, err := e.log.Append(&wal.Record{Type: wal.TypeCheckpointEnd, PrevLSN: beginLSN, Payload: payload})
 	if err != nil {

@@ -84,6 +84,8 @@ func (e *Engine) Recover() error {
 	// half-built tables would double-apply delegate records.
 	e.txns.Reset(1)
 	e.state = delegation.State{}
+	e.prepared = make(map[wal.TxID]preparedInfo)
+	e.globals = make(map[uint64]globalDecision)
 
 	e.met.recRuns.Inc()
 	book := recoveryBook{
@@ -150,6 +152,18 @@ func (e *Engine) locateCheckpointLocked() (scanStart, analysisAfter wal.LSN, err
 		reg.UndoNextLSN = info.UndoNextLSN
 	}
 	e.state = ck.state
+	for tx, pi := range ck.prepared {
+		e.prepared[tx] = pi
+		if pi.gid > e.maxGID {
+			e.maxGID = pi.gid
+		}
+	}
+	for gid, g := range ck.globals {
+		e.globals[gid] = g
+		if gid > e.maxGID {
+			e.maxGID = gid
+		}
+	}
 	redoStart := ck.beginLSN
 	for _, recLSN := range ck.dpt {
 		if recLSN == wal.NilLSN {
@@ -244,6 +258,13 @@ func (e *Engine) analyzeRecordLocked(rec *wal.Record, analyze bool, rs *replaySt
 				info.Status = txn.Committed
 				info.LastLSN = rec.LSN
 			}
+			// A commit following a prepare record resolves the global
+			// transaction: retain the decision (queryable by peer shards,
+			// archive-pinned at the prepare record) until released.
+			if pi, ok := e.prepared[rec.TxID]; ok {
+				e.globals[pi.gid] = globalDecision{prepareLSN: pi.prepareLSN}
+				delete(e.prepared, rec.TxID)
+			}
 		}
 	case wal.TypeAbort:
 		if analyze {
@@ -251,11 +272,57 @@ func (e *Engine) analyzeRecordLocked(rec *wal.Record, analyze bool, rs *replaySt
 				info.Status = txn.Aborted
 				info.LastLSN = rec.LSN
 			}
+			// An aborted voter is no longer in-doubt; presumed abort
+			// retains nothing.
+			delete(e.prepared, rec.TxID)
 		}
 	case wal.TypeEnd:
 		if analyze {
 			e.txns.Remove(rec.TxID)
 			delete(e.state, rec.TxID)
+			delete(e.prepared, rec.TxID)
+		}
+	case wal.TypePrepare:
+		if analyze {
+			info := e.txns.Register(rec.TxID)
+			info.Status = txn.Prepared
+			info.LastLSN = rec.LSN
+			e.prepared[rec.TxID] = preparedInfo{gid: rec.GID, coord: rec.Shard, prepareLSN: rec.LSN}
+			if rec.GID > e.maxGID {
+				e.maxGID = rec.GID
+			}
+		}
+	case wal.TypeDelegateOut:
+		// The home-shard half of a cross-shard delegation transfers
+		// responsibility between two local transactions exactly like a
+		// plain delegate record; the gid/peer fields are audit trail.
+		if analyze {
+			torList := e.state[rec.Tor]
+			teeList := e.state[rec.Tee]
+			if torList == nil || teeList == nil {
+				return fmt.Errorf("core: delegate-out record %d references unknown transactions", rec.LSN)
+			}
+			torList.DelegateTo(teeList, rec.Tor, rec.Object)
+			if torInfo := e.txns.Get(rec.Tor); torInfo != nil {
+				torInfo.LastLSN = rec.LSN
+			}
+			if teeInfo := e.txns.Get(rec.Tee); teeInfo != nil {
+				teeInfo.LastLSN = rec.LSN
+			}
+			if rec.GID > e.maxGID {
+				e.maxGID = rec.GID
+			}
+		}
+	case wal.TypeDelegateIn:
+		// Acquirer-side bookkeeping of a cross-shard delegation: no state
+		// change on this shard — the object and its scopes live on the
+		// home shard — only the backward chain advances.
+		if analyze {
+			info := e.txns.Register(rec.TxID)
+			info.LastLSN = rec.LSN
+			if rec.GID > e.maxGID {
+				e.maxGID = rec.GID
+			}
 		}
 	case wal.TypeCheckpointBegin, wal.TypeCheckpointEnd:
 		// Checkpoints carry no database changes.
@@ -361,6 +428,13 @@ func (e *Engine) classifyLocked() (losers []wal.TxID, lsrScopes []delegation.Sco
 			delete(e.state, info.ID)
 			continue
 		}
+		if info.Status == txn.Prepared {
+			// In-doubt 2PC participant: neither winner nor loser.  Its
+			// effects stay redone and un-undone, its entry and scopes
+			// stay live, until the coordinator's decision (or presumed
+			// abort) resolves it via CommitPrepared/AbortPrepared.
+			continue
+		}
 		losers = append(losers, info.ID)
 	}
 	for _, id := range losers {
@@ -396,7 +470,10 @@ func (e *Engine) terminateLosers(losers []wal.TxID) error {
 		e.txns.Remove(id)
 		delete(e.state, id)
 	}
-	return nil
+	// With the losers gone the lock table is empty; in-doubt participants
+	// re-take their object locks so nothing can touch their data before
+	// the decision arrives.
+	return e.relockInDoubtLocked()
 }
 
 // undoScopesFullScan is the ablation counterpart of undoScopes: it visits

@@ -175,14 +175,28 @@ func (e *Engine) MinRequiredLSN() (wal.LSN, error) {
 		}
 	}
 	// Uncommitted chains: a live transaction's own records back to its
-	// begin may be traversed (e.g. CLR UndoNextLSN bookkeeping).
+	// begin may be traversed (e.g. CLR UndoNextLSN bookkeeping).  A
+	// prepared (in-doubt) transaction is live in exactly the same sense:
+	// the decision may yet be abort, and its whole chain must survive
+	// for the undo.
 	for _, info := range e.txns.Snapshot() {
-		if info.Status == txn.Active && info.LastLSN != wal.NilLSN {
+		if (info.Status == txn.Active || info.Status == txn.Prepared) && info.LastLSN != wal.NilLSN {
 			// Conservative: keep from its first record; scopes
 			// already bound updates, this bounds begin records.
 			if first := e.beginOf(info.ID); first != wal.NilLSN && first < min {
 				min = first
 			}
+		}
+	}
+	// Decision pins: a retained coordinator commit decision must stay
+	// re-derivable from this shard's log until every participant has a
+	// durable commit (ReleaseGlobal), or an in-doubt peer recovering
+	// after an archive could no longer learn the verdict and presumed
+	// abort would contradict a committed participant.  Mirrors repl's
+	// retention pins: the prepare record that binds the gid is the pin.
+	for _, g := range e.globals {
+		if g.prepareLSN != wal.NilLSN && g.prepareLSN < min {
+			min = g.prepareLSN
 		}
 	}
 	return min, nil
@@ -234,7 +248,7 @@ func (e *Engine) beginOf(tx wal.TxID) wal.LSN {
 			return lsn
 		}
 		prev := rec.PrevLSN
-		if rec.Type == wal.TypeDelegate && rec.Tee == tx {
+		if (rec.Type == wal.TypeDelegate || rec.Type == wal.TypeDelegateOut) && rec.Tee == tx {
 			prev = rec.TeePrev
 		}
 		if prev >= lsn {

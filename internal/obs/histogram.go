@@ -90,6 +90,24 @@ func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// Merge returns the bucket-wise sum of s and o — the combined
+// distribution of two independent populations (e.g. the same series
+// across shards).  Count and Sum add; Max is the larger of the two.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Max:   s.Max,
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] + o.Buckets[i]
+	}
+	return out
+}
+
 // Mean returns the mean observation in nanoseconds (0 when empty).
 func (s HistogramSnapshot) Mean() int64 {
 	if s.Count == 0 {

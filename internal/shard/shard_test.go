@@ -1,0 +1,532 @@
+package shard
+
+import (
+	"testing"
+
+	"ariesrh/internal/core"
+	"ariesrh/internal/wal"
+)
+
+// modRouter routes obj to shard obj % n — deterministic object
+// placement for tests (object k lives on shard k%n).
+type modRouter struct{}
+
+func (modRouter) Route(obj wal.ObjectID, n int) uint32 { return uint32(uint64(obj) % uint64(n)) }
+
+func openTest(t *testing.T, shards int) *DB {
+	t.Helper()
+	db, err := Open(Options{
+		Shards:      shards,
+		GroupCommit: core.GroupCommitOff,
+		Router:      modRouter{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func mustRead(t *testing.T, db *DB, obj wal.ObjectID) string {
+	t.Helper()
+	v, ok, err := db.ReadCommitted(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		return ""
+	}
+	return string(v)
+}
+
+// TestSingleShardFastPath pins that a transaction touching one shard
+// commits through the ordinary engine path: no prepare records, the
+// router counts it as single-shard.
+func TestSingleShardFastPath(t *testing.T) {
+	db := openTest(t, 4)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Objects 4 and 8 both live on shard 0 under modRouter.
+	if err := tx.Update(4, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Update(8, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if got := m.Counter("router.single_shard_commits"); got != 1 {
+		t.Fatalf("single_shard_commits = %d, want 1", got)
+	}
+	if got := m.Counter("twopc.prepares"); got != 0 {
+		t.Fatalf("twopc.prepares = %d, want 0 on the fast path", got)
+	}
+	if v := mustRead(t, db, 4); v != "a" {
+		t.Fatalf("obj 4 = %q", v)
+	}
+}
+
+// TestReadOnlyParticipantsSkipPrepare pins the read-only optimization:
+// a transaction that reads on one shard and writes on another commits
+// through the fast path (the read-only branch just aborts, releasing
+// its locks — presumed abort already describes it).
+func TestReadOnlyParticipantsSkipPrepare(t *testing.T) {
+	db := openTest(t, 2)
+	seed, _ := db.Begin()
+	seed.Update(1, []byte("s1")) // shard 1
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	if _, err := tx.Read(1); err != nil { // shard 1, read-only
+		t.Fatal(err)
+	}
+	if err := tx.Update(2, []byte("w")); err != nil { // shard 0
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if got := m.Counter("twopc.prepares"); got != 0 {
+		t.Fatalf("twopc.prepares = %d, want 0 (read-only branch must not vote)", got)
+	}
+	if got := m.Counter("router.single_shard_commits"); got != 2 {
+		t.Fatalf("single_shard_commits = %d, want 2", got)
+	}
+	// The read lock on shard 1 was released: a writer proceeds.
+	w, _ := db.Begin()
+	if err := w.Update(1, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossShardCommitSurvivesCrash is the basic 2PC happy path: a
+// two-shard transaction commits, the cluster crashes, and recovery
+// keeps both branches' effects.
+func TestCrossShardCommitSurvivesCrash(t *testing.T) {
+	db := openTest(t, 2)
+	tx, _ := db.Begin()
+	if err := tx.Update(10, []byte("even")); err != nil { // shard 0 (coordinator)
+		t.Fatal(err)
+	}
+	if err := tx.Update(11, []byte("odd")); err != nil { // shard 1
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if got := m.Counter("router.cross_shard_commits"); got != 1 {
+		t.Fatalf("cross_shard_commits = %d, want 1", got)
+	}
+	// Coordinator + one participant each voted.
+	if got := m.Counter("twopc.prepares"); got != 2 {
+		t.Fatalf("twopc.prepares = %d, want 2", got)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 10); v != "even" {
+		t.Fatalf("obj 10 = %q after crash", v)
+	}
+	if v := mustRead(t, db, 11); v != "odd" {
+		t.Fatalf("obj 11 = %q after crash", v)
+	}
+}
+
+// TestGlobalAbortRollsBackAllShards: a user abort of a multi-shard
+// transaction undoes every branch.
+func TestGlobalAbortRollsBackAllShards(t *testing.T) {
+	db := openTest(t, 2)
+	tx, _ := db.Begin()
+	tx.Update(20, []byte("x"))
+	tx.Update(21, []byte("y"))
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 20); v != "" {
+		t.Fatalf("obj 20 = %q after global abort", v)
+	}
+	if v := mustRead(t, db, 21); v != "" {
+		t.Fatalf("obj 21 = %q after global abort", v)
+	}
+}
+
+// TestPresumedAbortAfterCrash drives phase 1 by hand: a participant's
+// vote is durable but no decision is, the cluster crashes, and sharded
+// recovery resolves the in-doubt branch by presumed abort — both
+// branches rolled back.
+func TestPresumedAbortAfterCrash(t *testing.T) {
+	db := openTest(t, 2)
+	tx, _ := db.Begin()
+	tx.Update(30, []byte("c")) // shard 0 = coordinator
+	tx.Update(31, []byte("p")) // shard 1 = participant
+	p, ok := tx.Local(1)
+	if !ok {
+		t.Fatal("no local txn on shard 1")
+	}
+	// Participant votes; coordinator never decides.
+	if err := db.Engine(1).Prepare(p, tx.GID(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 30); v != "" {
+		t.Fatalf("coordinator branch survived: obj 30 = %q", v)
+	}
+	if v := mustRead(t, db, 31); v != "" {
+		t.Fatalf("prepared branch survived presumed abort: obj 31 = %q", v)
+	}
+	if got := db.Metrics().Counter("router.indoubt_resolved"); got != 1 {
+		t.Fatalf("indoubt_resolved = %d, want 1", got)
+	}
+	if got := db.Metrics().Counter("twopc.indoubt_aborted"); got != 1 {
+		t.Fatalf("twopc.indoubt_aborted = %d, want 1", got)
+	}
+}
+
+// TestInDoubtCommitResolvedFromCoordinator drives the window between
+// the decision force and phase 2: the participant is prepared, the
+// coordinator's commit decision is durable, the cluster crashes before
+// the participant learns the outcome.  Recovery must commit the
+// participant's branch from the coordinator's retained decision.
+func TestInDoubtCommitResolvedFromCoordinator(t *testing.T) {
+	db := openTest(t, 2)
+	tx, _ := db.Begin()
+	tx.Update(40, []byte("c")) // shard 0 = coordinator
+	tx.Update(41, []byte("p")) // shard 1 = participant
+	c, _ := tx.Local(0)
+	p, _ := tx.Local(1)
+	gid := tx.GID()
+	if err := db.Engine(1).Prepare(p, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Engine(0).Prepare(c, gid, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Engine(0).CommitPrepared(c); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before phase 2 reaches the participant.
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 40); v != "c" {
+		t.Fatalf("coordinator branch lost: obj 40 = %q", v)
+	}
+	if v := mustRead(t, db, 41); v != "p" {
+		t.Fatalf("participant branch lost the committed decision: obj 41 = %q", v)
+	}
+	if got := db.Metrics().Counter("twopc.indoubt_committed"); got != 1 {
+		t.Fatalf("twopc.indoubt_committed = %d, want 1", got)
+	}
+	// Resolution released the retained decision everywhere.
+	if db.Engine(0).GlobalDecision(gid) {
+		t.Fatal("decision still retained after full resolution")
+	}
+}
+
+// TestCrossShardDelegation is the headline primitive: responsibility
+// for an update moves to a global transaction coordinated on another
+// shard; the delegator's abort no longer touches it, the delegatee's
+// commit makes it permanent, and the whole history survives a crash.
+func TestCrossShardDelegation(t *testing.T) {
+	db := openTest(t, 2)
+	t1, _ := db.Begin()
+	if err := t1.Update(50, []byte("anchor-t1")); err != nil { // shard 0: t1 coordinates there
+		t.Fatal(err)
+	}
+	if err := t1.Update(51, []byte("delegated")); err != nil { // shard 1
+		t.Fatal(err)
+	}
+	t2, _ := db.Begin()
+	if err := t2.Update(52, []byte("anchor-t2")); err != nil { // shard 0: t2 coordinates there
+		t.Fatal(err)
+	}
+	// Move responsibility for object 51 (home shard 1) to t2, whose
+	// coordinator is shard 0 → delegate-out on shard 1, delegate-in on
+	// shard 0.
+	if err := t1.Delegate(t2, 51); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Metrics().Counter("router.cross_delegations"); got != 1 {
+		t.Fatalf("cross_delegations = %d, want 1", got)
+	}
+	// The delegator aborts: its own update dies, the delegated one is
+	// now t2's responsibility and survives.
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 50); v != "" {
+		t.Fatalf("t1's own update survived its abort: obj 50 = %q", v)
+	}
+	// t2 commits cross-shard (wrote on shard 0; responsible on shard 1
+	// via the delegation).
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 51); v != "delegated" {
+		t.Fatalf("delegated update lost: obj 51 = %q", v)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 51); v != "delegated" {
+		t.Fatalf("delegated update lost across crash: obj 51 = %q", v)
+	}
+	if v := mustRead(t, db, 52); v != "anchor-t2" {
+		t.Fatalf("obj 52 = %q", v)
+	}
+}
+
+// TestCrossShardDelegationAbortUndoesLocally: the delegatee's abort
+// (or a crash before it commits) obliterates the delegated update via
+// the home shard's own backward pass — no cross-shard undo exists.
+func TestCrossShardDelegationAbortUndoesLocally(t *testing.T) {
+	for _, crash := range []bool{false, true} {
+		db := openTest(t, 2)
+		t1, _ := db.Begin()
+		t1.Update(60, []byte("anchor"))    // shard 0
+		t1.Update(61, []byte("tentative")) // shard 1
+		t2, _ := db.Begin()
+		t2.Update(62, []byte("t2")) // shard 0: coordinator
+		if err := t1.Delegate(t2, 61); err != nil {
+			t.Fatal(err)
+		}
+		if err := t1.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		if crash {
+			if err := db.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Recover(); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := t2.Abort(); err != nil {
+			t.Fatal(err)
+		}
+		if v := mustRead(t, db, 61); v != "" {
+			t.Fatalf("crash=%v: delegated update survived delegatee's demise: obj 61 = %q", crash, v)
+		}
+	}
+}
+
+// TestDelegationToSameShardStaysLocal: when the delegatee coordinates
+// on the object's own home shard, Delegate degenerates to the plain
+// local primitive — no cross-shard records.
+func TestDelegationToSameShardStaysLocal(t *testing.T) {
+	db := openTest(t, 2)
+	t1, _ := db.Begin()
+	t1.Update(71, []byte("v")) // shard 1; t1 coordinates on shard 1
+	t2, _ := db.Begin()
+	if err := t1.Delegate(t2, 71); err != nil { // t2's first touch: shard 1 → local
+		t.Fatal(err)
+	}
+	if got := db.Metrics().Counter("router.cross_delegations"); got != 0 {
+		t.Fatalf("cross_delegations = %d, want 0 for a same-shard delegation", got)
+	}
+	if got := db.Metrics().Counter("twopc.delegate_out"); got != 0 {
+		t.Fatalf("twopc.delegate_out = %d, want 0", got)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 71); v != "v" {
+		t.Fatalf("obj 71 = %q", v)
+	}
+}
+
+// TestGIDCounterReseededAfterRecovery: global ids never repeat across
+// a crash — the counter restarts above every id the logs have seen.
+func TestGIDCounterReseededAfterRecovery(t *testing.T) {
+	db := openTest(t, 2)
+	tx, _ := db.Begin()
+	tx.Update(80, []byte("a"))
+	tx.Update(81, []byte("b"))
+	gid := tx.GID()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	next, _ := db.Begin()
+	if next.GID() <= gid {
+		t.Fatalf("gid %d reused after recovery (previous %d)", next.GID(), gid)
+	}
+}
+
+// TestMetricsAggregation pins the snapshot contract: per-shard series
+// under shard.<i>., base names summed across shards, router series on
+// top.
+func TestMetricsAggregation(t *testing.T) {
+	db := openTest(t, 2)
+	a, _ := db.Begin()
+	a.Update(90, []byte("s0"))
+	if err := a.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := db.Begin()
+	b.Update(91, []byte("s1"))
+	if err := b.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if got := m.Counter("shard.0.core.commits"); got != 1 {
+		t.Fatalf("shard.0.core.commits = %d, want 1", got)
+	}
+	if got := m.Counter("shard.1.core.commits"); got != 1 {
+		t.Fatalf("shard.1.core.commits = %d, want 1", got)
+	}
+	if got := m.Counter("core.commits"); got != 2 {
+		t.Fatalf("aggregated core.commits = %d, want 2", got)
+	}
+	if got := m.Gauge("router.shards"); got != 2 {
+		t.Fatalf("router.shards = %d, want 2", got)
+	}
+	// Histograms merge: per-shard counts sum into the base series.
+	base := m.Histogram("core.commit_ns")
+	if base.Count != m.Histogram("shard.0.core.commit_ns").Count+m.Histogram("shard.1.core.commit_ns").Count {
+		t.Fatal("aggregated commit_ns count is not the sum of the shard series")
+	}
+}
+
+// TestShardedRecoveryTrace: after a crash and recovery the merged
+// trace sums counts across shards.
+func TestShardedRecoveryTrace(t *testing.T) {
+	db := openTest(t, 2)
+	tx, _ := db.Begin()
+	tx.Update(100, []byte("a"))
+	tx.Update(101, []byte("b"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tr := db.LastRecoveryTrace()
+	if tr.ForwardRecords == 0 {
+		t.Fatal("merged trace shows no forward records")
+	}
+	per := db.RecoveryTraces()
+	if len(per) != 2 {
+		t.Fatalf("RecoveryTraces returned %d entries", len(per))
+	}
+	var sum uint64
+	for _, p := range per {
+		sum += p.ForwardRecords
+	}
+	if tr.ForwardRecords != sum {
+		t.Fatalf("merged ForwardRecords %d != per-shard sum %d", tr.ForwardRecords, sum)
+	}
+}
+
+// TestFileBackedReopen: a sharded database over real files reopens
+// with all committed state, resolving nothing (clean shutdown).
+func TestFileBackedReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Shards: 2, Dir: dir, Router: modRouter{}, GroupCommit: core.GroupCommitOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tx.Update(110, []byte("f0"))
+	tx.Update(111, []byte("f1"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(Options{Shards: 2, Dir: dir, Router: modRouter{}, GroupCommit: core.GroupCommitOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v := mustRead(t, db2, 110); v != "f0" {
+		t.Fatalf("obj 110 = %q after reopen", v)
+	}
+	if v := mustRead(t, db2, 111); v != "f1" {
+		t.Fatalf("obj 111 = %q after reopen", v)
+	}
+}
+
+// TestParallelRecoverySharded: the instant-restart pipeline per shard
+// composes with in-doubt resolution — Recover returns with all shards
+// writable and the in-doubt branch settled.
+func TestParallelRecoverySharded(t *testing.T) {
+	db, err := Open(Options{Shards: 2, Router: modRouter{}, GroupCommit: core.GroupCommitOff, ParallelRecovery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tx.Update(120, []byte("c"))
+	tx.Update(121, []byte("p"))
+	c, _ := tx.Local(0)
+	p, _ := tx.Local(1)
+	if err := db.Engine(1).Prepare(p, tx.GID(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Engine(0).Prepare(c, tx.GID(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Engine(0).CommitPrepared(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 121); v != "p" {
+		t.Fatalf("obj 121 = %q after parallel sharded recovery", v)
+	}
+	w, _ := db.Begin()
+	if err := w.Update(120, []byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBadShardConfigs pins Open's validation.
+func TestBadShardConfigs(t *testing.T) {
+	if _, err := Open(Options{Shards: 0}); err == nil {
+		t.Fatal("Shards=0 accepted")
+	}
+	if _, err := Open(Options{Shards: 2, LogDirs: []wal.Dir{wal.NewMemDir()}}); err == nil {
+		t.Fatal("mismatched LogDirs accepted")
+	}
+}

@@ -1,0 +1,363 @@
+package shard
+
+import (
+	"errors"
+	"time"
+
+	"ariesrh/internal/core"
+	"ariesrh/internal/wal"
+)
+
+// Txn is a global transaction: a set of lazily-begun local
+// transactions, one per shard it touches.  At commit, the first shard
+// the transaction wrote on becomes the coordinator — the shard whose
+// log will carry the commit decision; read-only branches never vote.
+// A Txn is not safe for concurrent use by multiple goroutines;
+// distinct Txn values are.
+type Txn struct {
+	db  *DB
+	gid uint64
+
+	// local maps each touched shard to the global transaction's local
+	// transaction there; order records the touch sequence (order[0] is
+	// the anchor shard cross-shard delegations are recorded against);
+	// wrote marks shards holding undoable work (an update, increment,
+	// or responsibility acquired by delegation) — the first written
+	// shard coordinates commit, read-only branches skip the prepare
+	// force and simply abort.
+	local map[uint32]wal.TxID
+	order []uint32
+	wrote map[uint32]bool
+	done  bool
+}
+
+// Begin starts a global transaction.  No shard is touched (and no
+// coordinator chosen) until the first operation routes somewhere.
+func (db *DB) Begin() (*Txn, error) {
+	db.mu.Lock()
+	gid := db.nextGID
+	db.nextGID++
+	db.mu.Unlock()
+	return &Txn{
+		db:    db,
+		gid:   gid,
+		local: make(map[uint32]wal.TxID),
+		wrote: make(map[uint32]bool),
+	}, nil
+}
+
+// GID returns the transaction's cluster-wide identifier.  It appears
+// durably only on the logs of transactions that prepared (or received
+// a cross-shard delegation); single-shard transactions never log it.
+func (t *Txn) GID() uint64 { return t.gid }
+
+// Shards returns the shards this transaction has touched, in touch
+// order; the first entry is the coordinator.
+func (t *Txn) Shards() []uint32 {
+	out := make([]uint32, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Local returns the global transaction's local transaction id on
+// shard s, if it has touched that shard.  Exposed for tests and the
+// torture harness, which drive two-phase state through the engines
+// directly to build crash schedules.
+func (t *Txn) Local(s uint32) (wal.TxID, bool) {
+	id, ok := t.local[s]
+	return id, ok
+}
+
+// ensureLocal returns the transaction's local transaction on shard s,
+// beginning one (and recording the touch) on first use.
+func (t *Txn) ensureLocal(s uint32) (wal.TxID, error) {
+	if id, ok := t.local[s]; ok {
+		return id, nil
+	}
+	id, err := t.db.engs[s].Begin()
+	if err != nil {
+		return 0, err
+	}
+	t.local[s] = id
+	t.order = append(t.order, s)
+	return id, nil
+}
+
+// coord returns the transaction's anchor shard — the first shard it
+// touched, where incoming cross-shard delegations are recorded.
+// (Commit's coordinator is the first WRITTEN shard; a delegation makes
+// its home shard written, so for any transaction that acquires data
+// cross-shard before writing elsewhere the two coincide with its
+// anchor only if the anchor wrote.)  Valid only after the first touch.
+func (t *Txn) coord() uint32 { return t.order[0] }
+
+// Read returns the transaction's view of obj under a shared lock on
+// obj's home shard.
+func (t *Txn) Read(obj wal.ObjectID) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	s := t.db.Route(obj)
+	id, err := t.ensureLocal(s)
+	if err != nil {
+		return nil, err
+	}
+	return t.db.engs[s].Read(id, obj)
+}
+
+// Update sets obj to val under an exclusive lock on obj's home shard,
+// logging before/after images there.  Durability arrives with the
+// global commit (single-shard: the commit force; cross-shard: the
+// prepare force of the home shard's local transaction).
+func (t *Txn) Update(obj wal.ObjectID, val []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	s := t.db.Route(obj)
+	id, err := t.ensureLocal(s)
+	if err != nil {
+		return err
+	}
+	if err := t.db.engs[s].Update(id, obj, val); err != nil {
+		return err
+	}
+	t.wrote[s] = true
+	return nil
+}
+
+// Increment adds delta to the counter obj on its home shard and
+// returns the new value.
+func (t *Txn) Increment(obj wal.ObjectID, delta int64) (int64, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	s := t.db.Route(obj)
+	id, err := t.ensureLocal(s)
+	if err != nil {
+		return 0, err
+	}
+	v, err := t.db.engs[s].Increment(id, obj, delta)
+	if err != nil {
+		return 0, err
+	}
+	t.wrote[s] = true
+	return v, nil
+}
+
+// ReadCounter returns the transaction's view of the counter obj under
+// a shared lock on its home shard.
+func (t *Txn) ReadCounter(obj wal.ObjectID) (int64, error) {
+	if t.done {
+		return 0, ErrTxnDone
+	}
+	s := t.db.Route(obj)
+	id, err := t.ensureLocal(s)
+	if err != nil {
+		return 0, err
+	}
+	return t.db.engs[s].ReadCounter(id, obj)
+}
+
+// Delegate transfers responsibility for t's updates on obj over to the
+// global transaction `to` — the paper's delegate(t1, t2, ob) lifted
+// across shards.  The transfer is always performed between the two
+// transactions' LOCAL transactions on obj's home shard, so undo (and
+// recovery's cluster sweep) never crosses a shard boundary.  When the
+// delegatee's coordinator is a different shard, the home shard logs a
+// delegate-out record naming the delegatee's global id and coordinator
+// shard, and the coordinator shard logs a matching delegate-in; both
+// are unforced — durability rides the delegatee's eventual
+// prepare/commit forces, exactly like an ordinary update.
+//
+// Crash contract: a crash before the delegatee commits aborts both
+// global transactions (presumed abort), and each shard's local
+// backward pass undoes the delegated scope wherever it currently
+// lives — no cross-shard undo exists.
+func (t *Txn) Delegate(to *Txn, obj wal.ObjectID) error {
+	if t.done || to.done {
+		return ErrTxnDone
+	}
+	home := t.db.Route(obj)
+	torL, ok := t.local[home]
+	if !ok {
+		// Never touched the object's shard → holds no updates there.
+		return core.ErrNotResponsible
+	}
+	teeL, err := to.ensureLocal(home)
+	if err != nil {
+		return err
+	}
+	if to.coord() == home {
+		// The delegatee coordinates on the object's own shard: a plain
+		// local delegation, byte-identical to the unsharded primitive.
+		if err := t.db.engs[home].Delegate(torL, teeL, obj); err != nil {
+			return err
+		}
+	} else {
+		coordShard := to.coord()
+		if err := t.db.engs[home].DelegateOut(torL, teeL, obj, to.gid, coordShard); err != nil {
+			return err
+		}
+		if err := t.db.engs[coordShard].DelegateIn(to.local[coordShard], obj, to.gid, home); err != nil {
+			return err
+		}
+		t.db.met.crossDelegations.Inc()
+	}
+	// The delegatee is now responsible for undoable history on home.
+	to.wrote[home] = true
+	return nil
+}
+
+// Commit makes every update the transaction is responsible for
+// permanent, across all shards it touched.
+//
+// A transaction that touched one shard (or wrote on at most one)
+// commits through that engine's ordinary commit path — group commit,
+// early lock release and all — with no two-phase overhead; read-only
+// locks on other shards are simply released.
+//
+// A transaction that wrote on several shards runs two-phase commit on
+// the participants' own logs, coordinated by the first shard it wrote
+// on: each other writing participant forces a prepare record (its
+// vote, binding the global id and coordinator shard), then the
+// coordinator's local transaction prepares and commits — that forced
+// commit record is the global decision — and finally the participants
+// commit.  A nil return means the decision
+// record is on the coordinator shard's stable storage: the transaction
+// is globally committed and will survive any crash.  Any failure
+// before the decision is durable aborts every branch (presumed abort)
+// and returns the cause.  A participant failure AFTER the decision
+// (degraded device) leaves that branch prepared and the decision
+// retained — pinning the coordinator's archive — so the next
+// Recover resolves it; Commit still returns nil, because the global
+// outcome is decided.
+func (t *Txn) Commit() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if len(t.order) == 0 {
+		t.done = true
+		return nil
+	}
+
+	// Release read-only branches first: they hold no undoable work, so
+	// presumed abort already describes them — no vote, no force.  What
+	// remains are the writers; the first of them coordinates (its log
+	// carries the decision).
+	var writers []uint32
+	for _, s := range t.order {
+		if t.wrote[s] {
+			writers = append(writers, s)
+		} else if err := t.db.engs[s].Abort(t.local[s]); err != nil {
+			return err
+		}
+	}
+	if len(writers) == 0 {
+		t.done = true
+		return nil
+	}
+	coord := writers[0]
+	parts := writers[1:] // non-coordinator shards that must vote
+
+	if len(parts) == 0 {
+		// Single-shard fast path: the ordinary commit, untouched.
+		if err := t.db.engs[coord].Commit(t.local[coord]); err != nil {
+			if errors.Is(err, core.ErrCommitAborted) {
+				// The early-lock-release rollback terminated the local
+				// transaction; the global handle is dead too.
+				t.done = true
+			}
+			return err
+		}
+		t.done = true
+		t.db.met.singleCommits.Inc()
+		return nil
+	}
+
+	start := time.Now()
+	// Phase 1: participants vote by forced prepare record.
+	var prepared []uint32
+	for _, s := range parts {
+		if err := t.db.engs[s].Prepare(t.local[s], t.gid, coord); err != nil {
+			t.abortBranches(prepared, coord, true)
+			return err
+		}
+		prepared = append(prepared, s)
+	}
+	// The coordinator prepares too — binding the gid durably on the
+	// decision log — then commits; the forced commit record is the
+	// global decision.
+	if err := t.db.engs[coord].Prepare(t.local[coord], t.gid, coord); err != nil {
+		t.abortBranches(prepared, coord, true)
+		return err
+	}
+	if err := t.db.engs[coord].CommitPrepared(t.local[coord]); err != nil {
+		// No decision is durable: presumed abort, everywhere.
+		t.db.engs[coord].AbortPrepared(t.local[coord])
+		t.abortBranches(prepared, coord, false)
+		return err
+	}
+	// Decision durable.  Phase 2: commit the participants.
+	var stuck bool
+	for _, s := range parts {
+		if err := t.db.engs[s].CommitPrepared(t.local[s]); err != nil {
+			// The branch stays prepared on a (likely degraded) shard;
+			// recovery will resolve it from the retained decision.
+			stuck = true
+			t.db.met.phase2Failures.Inc()
+		}
+	}
+	if !stuck {
+		// All branches settled: the decision needs no retaining, and
+		// the coordinator's archive is unpinned.
+		t.db.engs[coord].ReleaseGlobal(t.gid)
+	}
+	t.done = true
+	t.db.met.crossCommits.Inc()
+	t.db.met.crossCommitNs.Observe(time.Since(start))
+	return nil
+}
+
+// abortBranches rolls back phase-1 state: AbortPrepared on every shard
+// in preparedShards, plain Abort on the coordinator's still-active
+// branch when abortCoord.  Best-effort — the error that triggered the
+// abort is what the caller reports; a branch that cannot abort
+// (degraded shard) is left for recovery, which re-aborts it by
+// presumed abort.
+func (t *Txn) abortBranches(preparedShards []uint32, coord uint32, abortCoord bool) {
+	for _, s := range preparedShards {
+		t.db.engs[s].AbortPrepared(t.local[s])
+	}
+	if abortCoord {
+		t.db.engs[coord].Abort(t.local[coord])
+	}
+	t.done = true
+	t.db.met.crossAborts.Inc()
+}
+
+// Abort rolls back every branch on every shard the transaction
+// touched.  Same crash contract as the single-engine abort: a nil
+// return means the rollback took effect in volatile state everywhere;
+// durability is unnecessary — a crash simply makes each shard's
+// recovery re-abort its branch (presumed abort for any that managed to
+// prepare in a concurrent Commit, ordinary loser undo otherwise).
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	var first error
+	for _, s := range t.order {
+		if err := t.db.engs[s].Abort(t.local[s]); err != nil && first == nil {
+			first = err
+		}
+	}
+	if len(t.order) > 1 {
+		t.db.met.crossAborts.Inc()
+	}
+	return first
+}
+
+// Done reports whether the transaction was terminated through this
+// handle.
+func (t *Txn) Done() bool { return t.done }

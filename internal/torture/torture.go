@@ -237,6 +237,10 @@ type logOracle struct {
 	values   map[wal.ObjectID][]byte
 	counters map[wal.ObjectID]int64
 	live     map[wal.TxID]map[wal.ObjectID]map[wal.LSN]*logOp
+	// prepared maps transactions with a durable prepare record to their
+	// global id: at settlement they are winners iff the cluster decided
+	// commit for that gid, losers otherwise (presumed abort).
+	prepared map[wal.TxID]uint64
 }
 
 func newLogOracle() *logOracle {
@@ -244,6 +248,7 @@ func newLogOracle() *logOracle {
 		values:   make(map[wal.ObjectID][]byte),
 		counters: make(map[wal.ObjectID]int64),
 		live:     make(map[wal.TxID]map[wal.ObjectID]map[wal.LSN]*logOp),
+		prepared: make(map[wal.TxID]uint64),
 	}
 }
 
@@ -285,8 +290,10 @@ func (o *logOracle) apply(rec *wal.Record) {
 			o.values[rec.Object] = append([]byte(nil), rec.Before...)
 		}
 		delete(o.live[rec.TxID][rec.Object], rec.Compensates)
-	case wal.TypeDelegate:
+	case wal.TypeDelegate, wal.TypeDelegateOut:
 		// Everything tor is responsible for on the object moves to tee.
+		// A delegate-out is the same local transfer — its gid/shard
+		// fields only describe the cross-shard acquirer.
 		moved := o.live[rec.Tor][rec.Object]
 		if len(moved) == 0 {
 			return
@@ -295,12 +302,33 @@ func (o *logOracle) apply(rec *wal.Record) {
 		for _, op := range moved {
 			o.addLive(rec.Tee, op)
 		}
+	case wal.TypeDelegateIn:
+		// Bookkeeping on the acquirer's coordinator shard: no state.
+	case wal.TypePrepare:
+		// The vote: the transaction's fate now follows its global id.
+		o.prepared[rec.TxID] = rec.GID
 	case wal.TypeCommit:
 		// The winner's responsibilities become permanent.
 		delete(o.live, rec.TxID)
+		delete(o.prepared, rec.TxID)
 	case wal.TypeEnd:
 		delete(o.live, rec.TxID)
+		delete(o.prepared, rec.TxID)
 	}
+}
+
+// settle resolves this shard's prepared transactions against the
+// cluster-wide decisions — a prepared transaction whose global id the
+// coordinator durably committed is a winner; every other prepared
+// transaction falls to presumed abort — then undoes the remaining
+// losers.  Single-shard sweeps call crashUndo directly (no prepares).
+func (o *logOracle) settle(committed map[uint64]bool) {
+	for tx, gid := range o.prepared {
+		if committed[gid] {
+			delete(o.live, tx)
+		}
+	}
+	o.crashUndo()
 }
 
 // crashUndo settles the crash: every update still attributable to a live

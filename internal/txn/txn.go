@@ -23,6 +23,14 @@ const (
 	Committed
 	// Aborted transactions have been rolled back.
 	Aborted
+	// Prepared transactions are in-doubt participants of a cross-shard
+	// transaction (internal/shard's per-shard-logged 2PC): a durable
+	// prepare record pins them, and only the coordinator shard's
+	// decision — or presumed abort when the coordinator has none —
+	// resolves them to Committed or Aborted.  Recovery classifies them
+	// as neither winner nor loser: their effects stay redone and
+	// un-undone until resolution.
+	Prepared
 )
 
 // String names the status.
@@ -34,6 +42,8 @@ func (s Status) String() string {
 		return "committed"
 	case Aborted:
 		return "aborted"
+	case Prepared:
+		return "prepared"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}

@@ -162,6 +162,21 @@ func EncodeRecord(r *Record) ([]byte, error) {
 		e.u64(uint64(r.TorPrev))
 		e.u64(uint64(r.TeePrev))
 		e.u64(uint64(r.Object))
+	case TypePrepare:
+		e.u64(r.GID)
+		e.u32(r.Shard)
+	case TypeDelegateOut:
+		e.u32(uint32(r.Tor))
+		e.u32(uint32(r.Tee))
+		e.u64(uint64(r.TorPrev))
+		e.u64(uint64(r.TeePrev))
+		e.u64(uint64(r.Object))
+		e.u64(r.GID)
+		e.u32(r.Shard)
+	case TypeDelegateIn:
+		e.u64(uint64(r.Object))
+		e.u64(r.GID)
+		e.u32(r.Shard)
 	case TypeCheckpointEnd:
 		e.bytes32(r.Payload)
 	default:
@@ -220,6 +235,21 @@ func DecodeRecord(p []byte) (*Record, int, error) {
 		r.TorPrev = LSN(d.u64())
 		r.TeePrev = LSN(d.u64())
 		r.Object = ObjectID(d.u64())
+	case TypePrepare:
+		r.GID = d.u64()
+		r.Shard = d.u32()
+	case TypeDelegateOut:
+		r.Tor = TxID(d.u32())
+		r.Tee = TxID(d.u32())
+		r.TorPrev = LSN(d.u64())
+		r.TeePrev = LSN(d.u64())
+		r.Object = ObjectID(d.u64())
+		r.GID = d.u64()
+		r.Shard = d.u32()
+	case TypeDelegateIn:
+		r.Object = ObjectID(d.u64())
+		r.GID = d.u64()
+		r.Shard = d.u32()
 	case TypeCheckpointEnd:
 		r.Payload = d.bytes32()
 	default:

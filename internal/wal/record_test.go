@@ -21,6 +21,9 @@ func sampleRecords() []*Record {
 		{Type: TypeEnd, LSN: 8, TxID: 7, PrevLSN: 7},
 		{Type: TypeCheckpointBegin, LSN: 9},
 		{Type: TypeCheckpointEnd, LSN: 10, PrevLSN: 9, Payload: []byte{1, 2, 3, 0, 255}},
+		{Type: TypePrepare, LSN: 11, TxID: 7, PrevLSN: 5, GID: 0xDEADBEEF01, Shard: 2},
+		{Type: TypeDelegateOut, LSN: 12, TxID: 7, PrevLSN: 11, Tor: 7, Tee: 9, TorPrev: 11, TeePrev: 0, Object: 42, GID: 0xDEADBEEF02, Shard: 3},
+		{Type: TypeDelegateIn, LSN: 13, TxID: 9, PrevLSN: 6, Object: 42, GID: 0xDEADBEEF02, Shard: 1},
 	}
 }
 

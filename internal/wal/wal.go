@@ -79,6 +79,27 @@ const (
 	// (the paper's "not all update operations conflict", §2.1.1, and
 	// the counter example of §3.4).
 	TypeIncrement
+	// TypePrepare marks a local transaction as an in-doubt participant
+	// of the cross-shard transaction GID (internal/shard's per-shard-
+	// logged 2PC).  The record rides the participant shard's own log and
+	// must be flushed before the participant votes yes; after a crash an
+	// analyzed Prepare without a following commit/abort leaves the
+	// transaction in-doubt until the coordinator shard is asked for the
+	// decision (presumed abort when the coordinator has none).
+	TypePrepare
+	// TypeDelegateOut records the home-shard half of a cross-shard
+	// delegation: like TypeDelegate it transfers responsibility between
+	// two local transactions on this shard's log, and additionally names
+	// the global transaction (GID) and coordinator shard of the
+	// delegatee so the cross-shard history can be audited from any one
+	// shard's log.  Cluster undo remains local to this shard.
+	TypeDelegateOut
+	// TypeDelegateIn is the acquirer-side bookkeeping half of a
+	// cross-shard delegation, logged on the delegatee's coordinator
+	// shard.  It carries no state change — redo and undo both skip it —
+	// and exists so the coordinator shard's log records that the global
+	// transaction took responsibility for an object homed elsewhere.
+	TypeDelegateIn
 )
 
 // String returns the conventional short name of the record type.
@@ -104,6 +125,12 @@ func (t RecordType) String() string {
 		return "ckpt-end"
 	case TypeIncrement:
 		return "increment"
+	case TypePrepare:
+		return "prepare"
+	case TypeDelegateOut:
+		return "delegate-out"
+	case TypeDelegateIn:
+		return "delegate-in"
 	default:
 		return fmt.Sprintf("invalid(%d)", uint8(t))
 	}
@@ -151,6 +178,15 @@ type Record struct {
 	// which case Logical is set and Before is unused.
 	Delta   int64
 	Logical bool
+
+	// Cross-shard fields (prepare, delegate-out and delegate-in
+	// records).  GID is the cluster-wide id of the distributed
+	// transaction; Shard names the peer shard involved: the coordinator
+	// shard on prepare records, the delegatee's coordinator shard on
+	// delegate-out records, and the object's home shard on delegate-in
+	// records.
+	GID   uint64
+	Shard uint32
 }
 
 // IsUndoable reports whether the record represents a change that the undo
@@ -169,6 +205,12 @@ func (r *Record) String() string {
 		return fmt.Sprintf("%d clr[t%d, %d undoNext=%d]", r.LSN, r.TxID, r.Object, r.UndoNextLSN)
 	case TypeDelegate:
 		return fmt.Sprintf("%d delegate(t%d -> t%d, %d)", r.LSN, r.Tor, r.Tee, r.Object)
+	case TypePrepare:
+		return fmt.Sprintf("%d prepare[t%d, gid=%d coord=%d]", r.LSN, r.TxID, r.GID, r.Shard)
+	case TypeDelegateOut:
+		return fmt.Sprintf("%d delegate-out(t%d -> t%d, %d gid=%d peer=%d)", r.LSN, r.Tor, r.Tee, r.Object, r.GID, r.Shard)
+	case TypeDelegateIn:
+		return fmt.Sprintf("%d delegate-in[t%d, %d gid=%d home=%d]", r.LSN, r.TxID, r.Object, r.GID, r.Shard)
 	default:
 		return fmt.Sprintf("%d %s(t%d)", r.LSN, r.Type, r.TxID)
 	}

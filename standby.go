@@ -40,6 +40,9 @@ type ReplicaFeed struct{ p *repl.Primary }
 // log head, so every record a later backup misses is still in the log
 // when the standby first connects.  Detach releases the pin.
 func (db *DB) AttachReplica() (*ReplicaFeed, error) {
+	if db.sh != nil {
+		return nil, ErrSharded
+	}
 	p, err := repl.NewPrimary(db.eng)
 	if err != nil {
 		return nil, err
