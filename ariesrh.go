@@ -92,6 +92,14 @@ var (
 	// Commit, Abort, Crash/Recover, Checkpoint, Metrics — is fully
 	// supported.
 	ErrSharded = errors.New("ariesrh: operation not supported on a sharded database")
+	// ErrInDoubt is returned (wrapped around the device error) by a
+	// sharded Tx.Commit when the coordinator shard's decision force
+	// failed: the commit record may or may not be durable, so the global
+	// outcome is unknown.  No branch is aborted — each stays prepared,
+	// holding its locks, until the next Recover settles them all from
+	// the coordinator's durable log (commit if the record made it to the
+	// device, presumed abort otherwise).
+	ErrInDoubt = shard.ErrInDoubt
 )
 
 // GroupCommitMode selects how Commit forces the log (re-exported from the
@@ -150,7 +158,9 @@ type Options struct {
 	// crosses shards via paired delegate-out/delegate-in records so
 	// undo stays local to each shard.  A nil Commit error means the
 	// decision is on stable storage and the transaction survives any
-	// crash of any subset of shards.  0 and 1 mean unsharded — the
+	// crash of any subset of shards; a Commit error wrapping ErrInDoubt
+	// means the decision force failed and the outcome stays unknown
+	// until the next Recover.  0 and 1 mean unsharded — the
 	// single-engine database, byte-for-byte the same behaviour as
 	// before the option existed.  See ErrSharded for the operations a
 	// sharded database rejects.

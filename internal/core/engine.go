@@ -144,6 +144,13 @@ const (
 type Options struct {
 	// PoolSize is the buffer-pool capacity in pages (default 128).
 	PoolSize int
+	// ShardID is this engine's index in a sharded cluster (0 for a
+	// standalone engine).  Two-phase commit uses it to tell coordinator
+	// from participant: only the engine whose ShardID matches a prepared
+	// transaction's coordinator field retains the commit decision (and
+	// pins its archive) when that transaction commits — participants
+	// apply the decision without retaining anything.
+	ShardID uint32
 	// LogDir, Disk and MasterStore override the default in-memory
 	// stable storage (used for file-backed operation).  LogDir is the
 	// segmented log's directory (see wal.Dir); the engine closes it on

@@ -259,10 +259,14 @@ func (e *Engine) analyzeRecordLocked(rec *wal.Record, analyze bool, rs *replaySt
 				info.LastLSN = rec.LSN
 			}
 			// A commit following a prepare record resolves the global
-			// transaction: retain the decision (queryable by peer shards,
-			// archive-pinned at the prepare record) until released.
+			// transaction.  On the coordinator (the prepare record named
+			// this shard) retain the decision — queryable by peer shards,
+			// archive-pinned at the prepare record — until released; a
+			// participant's commit merely applied it, so retain nothing.
 			if pi, ok := e.prepared[rec.TxID]; ok {
-				e.globals[pi.gid] = globalDecision{prepareLSN: pi.prepareLSN}
+				if pi.coord == e.opts.ShardID {
+					e.globals[pi.gid] = globalDecision{prepareLSN: pi.prepareLSN}
+				}
 				delete(e.prepared, rec.TxID)
 			}
 		}

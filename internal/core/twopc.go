@@ -148,12 +148,15 @@ func (e *Engine) Prepare(tx wal.TxID, gid uint64, coord uint32) error {
 }
 
 // CommitPrepared commits a prepared transaction: the decision half of the
-// protocol.  On the coordinator shard this is the global decision — the
+// protocol.  On the coordinator shard (the engine whose ShardID the
+// prepare record named as coordinator) this is the global decision — the
 // forced commit record following tx's prepare record is what makes gid
 // committed, and the engine retains the decision (queryable via
 // GlobalDecision, archive-pinned at the prepare record) until
 // ReleaseGlobal.  On a participant shard it applies a decision already
-// durable at the coordinator.
+// durable at the coordinator, retaining nothing: only the coordinator's
+// log answers decision queries, so a participant entry would just pin
+// that shard's archive forever.
 //
 // Crash contract: a nil return means the commit record is durable and the
 // transaction is finished (locks released, tables cleaned).  On a failed
@@ -188,7 +191,9 @@ func (e *Engine) CommitPrepared(tx wal.TxID) error {
 		if info == nil {
 			return fmt.Errorf("%w: %d", ErrNoSuchTxn, tx)
 		}
-		e.globals[pi.gid] = globalDecision{prepareLSN: pi.prepareLSN}
+		if pi.coord == e.opts.ShardID {
+			e.globals[pi.gid] = globalDecision{prepareLSN: pi.prepareLSN}
+		}
 		delete(e.prepared, tx)
 		e.met.twopcCommits.Inc()
 		return e.finishCommitLocked(tx, info, lsn, start)

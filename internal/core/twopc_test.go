@@ -104,10 +104,12 @@ func TestPreparedSurvivesCrashInDoubt(t *testing.T) {
 // TestDecisionSurvivesCrash pins the coordinator side: prepare + commit
 // on the same local transaction is the decision, and recovery rebuilds
 // the retained decision from the forward pass — and from checkpoint
-// state when the records are behind a checkpoint.
+// state when the records are behind a checkpoint.  The engine is opened
+// as shard 1 and the prepare names shard 1 as coordinator, so retention
+// applies.
 func TestDecisionSurvivesCrash(t *testing.T) {
 	for _, withCkpt := range []bool{false, true} {
-		e, err := New(Options{GroupCommit: GroupCommitOff})
+		e, err := New(Options{GroupCommit: GroupCommitOff, ShardID: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,6 +138,48 @@ func TestDecisionSurvivesCrash(t *testing.T) {
 		if got := e.MaxSeenGID(); got != 99 {
 			t.Fatalf("withCkpt=%v: MaxSeenGID = %d, want 99", withCkpt, got)
 		}
+	}
+}
+
+// TestParticipantCommitRetainsNoDecision pins the participant side of
+// phase 2: committing a prepared branch whose coordinator is ANOTHER
+// shard must not retain a decision — only the coordinator's log answers
+// decision queries, and a participant entry would pin this shard's
+// archive forever (one leaked entry per cross-shard commit).  The same
+// holds for recovery's rebuild from the prepare+commit pair.
+func TestParticipantCommitRetainsNoDecision(t *testing.T) {
+	e, err := New(Options{GroupCommit: GroupCommitOff}) // shard 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := mustBegin(t, e)
+	mustUpdate(t, e, tx, 3, "phase2")
+	if err := e.Prepare(tx, 8, 2); err != nil { // coordinated elsewhere
+		t.Fatal(err)
+	}
+	if err := e.CommitPrepared(tx); err != nil {
+		t.Fatal(err)
+	}
+	if e.GlobalDecision(8) {
+		t.Fatal("participant retained a decision for gid 8")
+	}
+	if v, _, _ := e.ReadObject(3); string(v) != "phase2" {
+		t.Fatalf("object 3 = %q, want phase2", v)
+	}
+	if err := e.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if e.GlobalDecision(8) {
+		t.Fatal("recovery rebuilt a participant-side decision for gid 8")
+	}
+	if len(e.InDoubt()) != 0 {
+		t.Fatal("committed participant branch came back in doubt")
+	}
+	if v, _, _ := e.ReadObject(3); string(v) != "phase2" {
+		t.Fatalf("object 3 = %q after recovery, want phase2", v)
 	}
 }
 

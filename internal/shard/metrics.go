@@ -24,8 +24,11 @@ type dbMetrics struct {
 
 	// indoubtResolved counts prepared transactions settled at
 	// Open/Recover from the coordinator's decision; phase2Failures
-	// counts branches left prepared by a post-decision device failure.
-	indoubtResolved, phase2Failures *obs.Counter
+	// counts branches left prepared by a post-decision device failure;
+	// commitsInDoubt counts commits whose decision force failed — the
+	// outcome unknown (ErrInDoubt) until the next Recover reads the
+	// coordinator's durable log.
+	indoubtResolved, phase2Failures, commitsInDoubt *obs.Counter
 
 	// shards is the configured shard count.
 	shards *obs.Gauge
@@ -43,6 +46,7 @@ func bindDBMetrics(r *obs.Registry) dbMetrics {
 		crossDelegations: r.Counter("router.cross_delegations"),
 		indoubtResolved:  r.Counter("router.indoubt_resolved"),
 		phase2Failures:   r.Counter("router.phase2_failures"),
+		commitsInDoubt:   r.Counter("router.commits_indoubt"),
 		shards:           r.Gauge("router.shards"),
 		crossCommitNs:    r.Histogram("router.cross_commit_ns"),
 	}

@@ -48,6 +48,14 @@ var (
 	// ErrBadShards is returned by Open for an invalid shard count or a
 	// LogDirs slice whose length disagrees with Shards.
 	ErrBadShards = errors.New("shard: invalid shard configuration")
+	// ErrInDoubt is returned (wrapped around the device error) by
+	// Txn.Commit when the coordinator's decision force failed: the commit
+	// record may or may not be durable, so the global outcome is unknown.
+	// Every branch stays prepared, holding its locks, until the next
+	// Recover settles them all from the coordinator's durable log —
+	// commit if the record made it to the device, presumed abort
+	// otherwise.
+	ErrInDoubt = errors.New("shard: commit outcome in doubt until recovery")
 )
 
 // Router maps objects to shards.  Implementations must be pure
@@ -146,6 +154,7 @@ func Open(opts Options) (*DB, error) {
 	db.met.shards.Set(int64(opts.Shards))
 	for i := 0; i < opts.Shards; i++ {
 		eo := core.Options{
+			ShardID:          uint32(i),
 			PoolSize:         opts.PoolSize,
 			GroupCommit:      opts.GroupCommit,
 			LogSegmentBytes:  opts.LogSegmentBytes,

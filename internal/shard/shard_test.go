@@ -1,9 +1,11 @@
 package shard
 
 import (
+	"errors"
 	"testing"
 
 	"ariesrh/internal/core"
+	"ariesrh/internal/fault"
 	"ariesrh/internal/wal"
 )
 
@@ -357,6 +359,142 @@ func TestDelegationToSameShardStaysLocal(t *testing.T) {
 	}
 	if v := mustRead(t, db, 71); v != "v" {
 		t.Fatalf("obj 71 = %q", v)
+	}
+}
+
+// TestDecisionForceFailureLeavesInDoubt is the failed-decision
+// regression: when the coordinator's decision force fails, the commit
+// record may or may not be durable, so Commit must not abort ANY
+// branch — a durable participant abort could contradict a durable
+// commit decision.  Instead every branch stays prepared (ErrInDoubt)
+// and the next Recover settles them all from the coordinator's durable
+// log — here by presumed abort, since the frozen device never got the
+// record.
+func TestDecisionForceFailureLeavesInDoubt(t *testing.T) {
+	// The scenario, identical across both runs: a two-shard transaction,
+	// shard 0 coordinating.  With group commit off, shard 0's last sync
+	// is the decision force.
+	run := func(dirs []wal.Dir) (*DB, error) {
+		db, err := Open(Options{Shards: 2, LogDirs: dirs, GroupCommit: core.GroupCommitOff, Router: modRouter{}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tx, _ := db.Begin()
+		if err := tx.Update(130, []byte("c")); err != nil { // shard 0 = coordinator
+			t.Fatal(err)
+		}
+		if err := tx.Update(131, []byte("p")); err != nil { // shard 1
+			t.Fatal(err)
+		}
+		return db, tx.Commit()
+	}
+
+	// Probe: count shard 0's syncs over a clean run of the scenario.
+	probe := fault.NewDir(fault.Plan{})
+	db, err := run([]wal.Dir{probe, fault.NewDir(fault.Plan{})})
+	if err != nil {
+		t.Fatalf("probe commit: %v", err)
+	}
+	syncs := probe.Syncs()
+	db.Close()
+
+	// Real run: freeze shard 0's device right before the decision force,
+	// so the coordinator's prepare is durable but the decision fails.
+	fds := []*fault.Dir{
+		fault.NewDir(fault.Plan{CrashAtSync: syncs - 1}),
+		fault.NewDir(fault.Plan{}),
+	}
+	db, err = run([]wal.Dir{fds[0], fds[1]})
+	if !errors.Is(err, ErrInDoubt) {
+		t.Fatalf("Commit = %v, want ErrInDoubt", err)
+	}
+	// Nothing was aborted: both branches are in doubt, locks held.
+	if n := len(db.Engine(0).InDoubt()); n != 1 {
+		t.Fatalf("coordinator in-doubt count = %d, want 1", n)
+	}
+	if n := len(db.Engine(1).InDoubt()); n != 1 {
+		t.Fatalf("participant in-doubt count = %d, want 1", n)
+	}
+	if got := db.Metrics().Counter("router.commits_indoubt"); got != 1 {
+		t.Fatalf("commits_indoubt = %d, want 1", got)
+	}
+
+	// Crash and recover: the commit record never reached the device, so
+	// presumed abort settles both branches, and nothing stays in doubt.
+	for _, fd := range fds {
+		if _, err := fd.CrashNow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 130); v != "" {
+		t.Fatalf("coordinator branch survived an undurable decision: obj 130 = %q", v)
+	}
+	if v := mustRead(t, db, 131); v != "" {
+		t.Fatalf("participant branch survived an undurable decision: obj 131 = %q", v)
+	}
+	if got := db.Metrics().Counter("router.indoubt_resolved"); got != 2 {
+		t.Fatalf("indoubt_resolved = %d, want 2", got)
+	}
+}
+
+// TestDelegateInRidesCommitCoordinator pins where the delegate-in
+// record lands: on the delegatee's commit coordinator — its first
+// WRITTEN shard — not its first-touched shard.  Here t2 first touches
+// shard 0 read-only and first writes on shard 1, so shard 1 is the
+// decision log and must carry the delegate-in.
+func TestDelegateInRidesCommitCoordinator(t *testing.T) {
+	db := openTest(t, 3)
+	seed, _ := db.Begin()
+	if err := seed.Update(3, []byte("s")); err != nil { // shard 0
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := db.Begin()
+	if err := t1.Update(5, []byte("d")); err != nil { // shard 2 (home of the delegation)
+		t.Fatal(err)
+	}
+	t2, _ := db.Begin()
+	if _, err := t2.Read(3); err != nil { // shard 0: t2's first touch, read-only
+		t.Fatal(err)
+	}
+	if err := t2.Update(4, []byte("w")); err != nil { // shard 1: first write = coordinator
+		t.Fatal(err)
+	}
+	if err := t1.Delegate(t2, 5); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if got := m.Counter("shard.1.twopc.delegate_in"); got != 1 {
+		t.Fatalf("shard.1.twopc.delegate_in = %d, want 1 (the decision log)", got)
+	}
+	if got := m.Counter("shard.0.twopc.delegate_in"); got != 0 {
+		t.Fatalf("shard.0.twopc.delegate_in = %d, want 0 (read-only anchor must not carry it)", got)
+	}
+	if err := t1.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	gid := t2.GID()
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if v := mustRead(t, db, 5); v != "d" {
+		t.Fatalf("delegated update lost: obj 5 = %q", v)
+	}
+	// A fully-settled cross-shard commit retains no decision anywhere:
+	// the coordinator released its entry, and participants never retain
+	// one (each leaked entry would pin that shard's archive forever).
+	for i := 0; i < db.Shards(); i++ {
+		if db.Engine(i).GlobalDecision(gid) {
+			t.Fatalf("shard %d still retains the decision for gid %d after full phase 2", i, gid)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"ariesrh/internal/core"
@@ -9,26 +10,28 @@ import (
 )
 
 // Txn is a global transaction: a set of lazily-begun local
-// transactions, one per shard it touches.  At commit, the first shard
-// the transaction wrote on becomes the coordinator — the shard whose
-// log will carry the commit decision; read-only branches never vote.
-// A Txn is not safe for concurrent use by multiple goroutines;
-// distinct Txn values are.
+// transactions, one per shard it touches.  The first shard the
+// transaction writes on becomes the coordinator — the shard whose log
+// will carry the commit decision; it is fixed from that first write
+// on, so cross-shard delegation records always name the actual
+// decision log.  Read-only branches never vote.  A Txn is not safe
+// for concurrent use by multiple goroutines; distinct Txn values are.
 type Txn struct {
 	db  *DB
 	gid uint64
 
 	// local maps each touched shard to the global transaction's local
-	// transaction there; order records the touch sequence (order[0] is
-	// the anchor shard cross-shard delegations are recorded against);
-	// wrote marks shards holding undoable work (an update, increment,
-	// or responsibility acquired by delegation) — the first written
-	// shard coordinates commit, read-only branches skip the prepare
-	// force and simply abort.
-	local map[uint32]wal.TxID
-	order []uint32
-	wrote map[uint32]bool
-	done  bool
+	// transaction there; order records the touch sequence; wrote marks
+	// shards holding undoable work (an update, increment, or
+	// responsibility acquired by delegation), with writeOrder recording
+	// the order shards first gained it — writeOrder[0] is the commit
+	// coordinator, stable from the transaction's first write.  Read-only
+	// branches skip the prepare force and simply abort.
+	local      map[uint32]wal.TxID
+	order      []uint32
+	wrote      map[uint32]bool
+	writeOrder []uint32
+	done       bool
 }
 
 // Begin starts a global transaction.  No shard is touched (and no
@@ -52,7 +55,8 @@ func (db *DB) Begin() (*Txn, error) {
 func (t *Txn) GID() uint64 { return t.gid }
 
 // Shards returns the shards this transaction has touched, in touch
-// order; the first entry is the coordinator.
+// order.  The commit coordinator is the first shard it WROTE on, which
+// need not be the first it touched.
 func (t *Txn) Shards() []uint32 {
 	out := make([]uint32, len(t.order))
 	copy(out, t.order)
@@ -83,13 +87,15 @@ func (t *Txn) ensureLocal(s uint32) (wal.TxID, error) {
 	return id, nil
 }
 
-// coord returns the transaction's anchor shard — the first shard it
-// touched, where incoming cross-shard delegations are recorded.
-// (Commit's coordinator is the first WRITTEN shard; a delegation makes
-// its home shard written, so for any transaction that acquires data
-// cross-shard before writing elsewhere the two coincide with its
-// anchor only if the anchor wrote.)  Valid only after the first touch.
-func (t *Txn) coord() uint32 { return t.order[0] }
+// markWrote records that shard s holds undoable work of this
+// transaction.  The first marked shard becomes — and remains — the
+// commit coordinator.
+func (t *Txn) markWrote(s uint32) {
+	if !t.wrote[s] {
+		t.wrote[s] = true
+		t.writeOrder = append(t.writeOrder, s)
+	}
+}
 
 // Read returns the transaction's view of obj under a shared lock on
 // obj's home shard.
@@ -121,7 +127,7 @@ func (t *Txn) Update(obj wal.ObjectID, val []byte) error {
 	if err := t.db.engs[s].Update(id, obj, val); err != nil {
 		return err
 	}
-	t.wrote[s] = true
+	t.markWrote(s)
 	return nil
 }
 
@@ -140,7 +146,7 @@ func (t *Txn) Increment(obj wal.ObjectID, delta int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	t.wrote[s] = true
+	t.markWrote(s)
 	return v, nil
 }
 
@@ -163,11 +169,15 @@ func (t *Txn) ReadCounter(obj wal.ObjectID) (int64, error) {
 // across shards.  The transfer is always performed between the two
 // transactions' LOCAL transactions on obj's home shard, so undo (and
 // recovery's cluster sweep) never crosses a shard boundary.  When the
-// delegatee's coordinator is a different shard, the home shard logs a
+// delegatee's commit coordinator — its first written shard, fixed from
+// that write on; the home shard itself when this delegation is its
+// first write — is a different shard, the home shard logs a
 // delegate-out record naming the delegatee's global id and coordinator
-// shard, and the coordinator shard logs a matching delegate-in; both
-// are unforced — durability rides the delegatee's eventual
-// prepare/commit forces, exactly like an ordinary update.
+// shard, and the coordinator shard logs a matching delegate-in, so the
+// log that will carry (or durably lack) the commit decision also tells
+// the acquisition story.  Both records are unforced — durability rides
+// the delegatee's eventual prepare/commit forces, exactly like an
+// ordinary update.
 //
 // Crash contract: a crash before the delegatee commits aborts both
 // global transactions (presumed abort), and each shard's local
@@ -187,14 +197,20 @@ func (t *Txn) Delegate(to *Txn, obj wal.ObjectID) error {
 	if err != nil {
 		return err
 	}
-	if to.coord() == home {
+	// The delegatee's coordinator: its first written shard, or — when
+	// this delegation is its first undoable work — the home shard
+	// itself, which the markWrote below then fixes as coordinator.
+	coordShard := home
+	if len(to.writeOrder) > 0 {
+		coordShard = to.writeOrder[0]
+	}
+	if coordShard == home {
 		// The delegatee coordinates on the object's own shard: a plain
 		// local delegation, byte-identical to the unsharded primitive.
 		if err := t.db.engs[home].Delegate(torL, teeL, obj); err != nil {
 			return err
 		}
 	} else {
-		coordShard := to.coord()
 		if err := t.db.engs[home].DelegateOut(torL, teeL, obj, to.gid, coordShard); err != nil {
 			return err
 		}
@@ -204,7 +220,7 @@ func (t *Txn) Delegate(to *Txn, obj wal.ObjectID) error {
 		t.db.met.crossDelegations.Inc()
 	}
 	// The delegatee is now responsible for undoable history on home.
-	to.wrote[home] = true
+	to.markWrote(home)
 	return nil
 }
 
@@ -224,13 +240,30 @@ func (t *Txn) Delegate(to *Txn, obj wal.ObjectID) error {
 // commit record is the global decision — and finally the participants
 // commit.  A nil return means the decision
 // record is on the coordinator shard's stable storage: the transaction
-// is globally committed and will survive any crash.  Any failure
-// before the decision is durable aborts every branch (presumed abort)
-// and returns the cause.  A participant failure AFTER the decision
-// (degraded device) leaves that branch prepared and the decision
-// retained — pinning the coordinator's archive — so the next
-// Recover resolves it; Commit still returns nil, because the global
-// outcome is decided.
+// is globally committed and will survive any crash.
+//
+// A phase-1 failure (a prepare force that did not complete) aborts
+// every branch and returns the cause: the coordinator never appended
+// its commit record, so no durable decision can exist and presumed
+// abort is safe everywhere.  A failed DECISION force is different —
+// the commit record may or may not have reached the device, so
+// aborting anything could contradict a decision that is in fact
+// durable.  Commit therefore aborts nothing: every branch (the
+// coordinator's included) stays prepared, in doubt, holding its locks,
+// and the error returned wraps ErrInDoubt; the next Recover settles
+// all branches from the coordinator's durable log — commit if the
+// record made it, presumed abort otherwise.
+//
+// A participant failure AFTER the decision (degraded device) leaves
+// that branch prepared and the decision retained — pinning the
+// coordinator's archive below the prepare record — and Commit still
+// returns nil, because the global outcome is decided and durable.  The
+// stuck branch keeps its exclusive locks, blocking any transaction
+// that touches its objects, until the degraded shard is taken through
+// Crash/Recover (or the process restarts and reopens): resolution then
+// commits the branch from the coordinator's decision and releases the
+// pin.  There is no in-place retry — a shard degrades only on a
+// persistent device error, which a retry cannot outwait.
 func (t *Txn) Commit() error {
 	if t.done {
 		return ErrTxnDone
@@ -242,16 +275,16 @@ func (t *Txn) Commit() error {
 
 	// Release read-only branches first: they hold no undoable work, so
 	// presumed abort already describes them — no vote, no force.  What
-	// remains are the writers; the first of them coordinates (its log
-	// carries the decision).
-	var writers []uint32
+	// remains are the writers, in first-write order; the first of them
+	// coordinates (its log carries the decision).
 	for _, s := range t.order {
-		if t.wrote[s] {
-			writers = append(writers, s)
-		} else if err := t.db.engs[s].Abort(t.local[s]); err != nil {
-			return err
+		if !t.wrote[s] {
+			if err := t.db.engs[s].Abort(t.local[s]); err != nil {
+				return err
+			}
 		}
 	}
+	writers := t.writeOrder
 	if len(writers) == 0 {
 		t.done = true
 		return nil
@@ -275,34 +308,46 @@ func (t *Txn) Commit() error {
 	}
 
 	start := time.Now()
-	// Phase 1: participants vote by forced prepare record.
-	var prepared []uint32
-	for _, s := range parts {
+	// Phase 1: participants vote by forced prepare record.  On any
+	// failure the coordinator has not appended its commit record, so no
+	// decision can be durable and every branch aborts: the already-
+	// prepared ones by presumed abort, the failed one and the not-yet-
+	// prepared ones (still Active) by plain rollback.
+	for i, s := range parts {
 		if err := t.db.engs[s].Prepare(t.local[s], t.gid, coord); err != nil {
-			t.abortBranches(prepared, coord, true)
+			active := make([]uint32, 0, len(parts)-i+1)
+			active = append(active, parts[i:]...)
+			active = append(active, coord)
+			t.abortBranches(parts[:i], active)
 			return err
 		}
-		prepared = append(prepared, s)
 	}
 	// The coordinator prepares too — binding the gid durably on the
 	// decision log — then commits; the forced commit record is the
 	// global decision.
 	if err := t.db.engs[coord].Prepare(t.local[coord], t.gid, coord); err != nil {
-		t.abortBranches(prepared, coord, true)
+		t.abortBranches(parts, []uint32{coord})
 		return err
 	}
 	if err := t.db.engs[coord].CommitPrepared(t.local[coord]); err != nil {
-		// No decision is durable: presumed abort, everywhere.
-		t.db.engs[coord].AbortPrepared(t.local[coord])
-		t.abortBranches(prepared, coord, false)
-		return err
+		// The decision force failed, but the commit record MAY still be
+		// durable (core's crash contract for a failed force).  Aborting
+		// any branch here could durably contradict it — participants
+		// would log abort records for a transaction the coordinator's
+		// log commits — so nothing is aborted: every branch stays
+		// prepared, in doubt, and the next Recover resolves them all
+		// from the coordinator's durable log.
+		t.done = true
+		t.db.met.commitsInDoubt.Inc()
+		return fmt.Errorf("%w: coordinator shard %d decision force: %w", ErrInDoubt, coord, err)
 	}
 	// Decision durable.  Phase 2: commit the participants.
 	var stuck bool
 	for _, s := range parts {
 		if err := t.db.engs[s].CommitPrepared(t.local[s]); err != nil {
-			// The branch stays prepared on a (likely degraded) shard;
-			// recovery will resolve it from the retained decision.
+			// The branch stays prepared on a (likely degraded) shard,
+			// holding its locks, and the decision stays retained on the
+			// coordinator; the shard's next Recover resolves it.
 			stuck = true
 			t.db.met.phase2Failures.Inc()
 		}
@@ -318,18 +363,19 @@ func (t *Txn) Commit() error {
 	return nil
 }
 
-// abortBranches rolls back phase-1 state: AbortPrepared on every shard
-// in preparedShards, plain Abort on the coordinator's still-active
-// branch when abortCoord.  Best-effort — the error that triggered the
-// abort is what the caller reports; a branch that cannot abort
-// (degraded shard) is left for recovery, which re-aborts it by
-// presumed abort.
-func (t *Txn) abortBranches(preparedShards []uint32, coord uint32, abortCoord bool) {
+// abortBranches rolls back a failed phase 1: AbortPrepared on every
+// shard in preparedShards, plain Abort on the still-active branches in
+// activeShards.  Only legal while no decision can be durable (the
+// coordinator never appended its commit record).  Best-effort — the
+// error that triggered the abort is what the caller reports; a branch
+// that cannot abort (degraded shard) is left for recovery, which
+// re-aborts it by presumed abort.
+func (t *Txn) abortBranches(preparedShards, activeShards []uint32) {
 	for _, s := range preparedShards {
 		t.db.engs[s].AbortPrepared(t.local[s])
 	}
-	if abortCoord {
-		t.db.engs[coord].Abort(t.local[coord])
+	for _, s := range activeShards {
+		t.db.engs[s].Abort(t.local[s])
 	}
 	t.done = true
 	t.db.met.crossAborts.Inc()

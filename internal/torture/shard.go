@@ -289,9 +289,20 @@ func replayShardTrace(db *shard.DB, ops []shardOp) error {
 // transaction on the same log.  On the coordinator that pair IS the
 // decision; on a participant it is phase 2, which only runs after the
 // decision was forced — either way the gid is globally committed.
-func durableDecisions(perShard [][]*wal.Record) map[uint64]bool {
+//
+// It also enforces the protocol's no-contradiction invariant directly
+// on the durable bytes: no shard's log may carry an abort record for a
+// prepared branch of a gid any log commits.  A prepared branch may
+// only be aborted while no decision can be durable (a phase-1 failure,
+// or presumed abort at recovery — which runs after this scan), so a
+// durable commit decision coexisting with a durable participant abort
+// means some run aborted a branch whose global transaction was
+// decided committed: the exact cross-shard atomicity violation a
+// failed decision force could cause if it were treated as an abort.
+func durableDecisions(perShard [][]*wal.Record) (map[uint64]bool, error) {
 	committed := make(map[uint64]bool)
-	for _, recs := range perShard {
+	aborted := make(map[uint64]int)
+	for i, recs := range perShard {
 		prepGID := make(map[wal.TxID]uint64)
 		for _, rec := range recs {
 			switch rec.Type {
@@ -301,10 +312,20 @@ func durableDecisions(perShard [][]*wal.Record) map[uint64]bool {
 				if gid, ok := prepGID[rec.TxID]; ok {
 					committed[gid] = true
 				}
+			case wal.TypeAbort:
+				if gid, ok := prepGID[rec.TxID]; ok {
+					aborted[gid] = i
+					delete(prepGID, rec.TxID)
+				}
 			}
 		}
 	}
-	return committed
+	for gid, shard := range aborted {
+		if committed[gid] {
+			return nil, fmt.Errorf("atomicity violation in durable logs: shard %d aborted a prepared branch of gid %d, which another log commits", shard, gid)
+		}
+	}
+	return committed, nil
 }
 
 // RunShards executes the cross-shard crash sweep for cfg.  Boundaries
@@ -504,8 +525,12 @@ func (cfg ShardConfig) runShardBoundary(trace []shardOp, s int, k uint64) (shard
 	}
 
 	// The protocol's own atomicity rule, applied to the durable bytes:
-	// which global ids are committed, everywhere or nowhere.
-	committed := durableDecisions(perShard)
+	// which global ids are committed, everywhere or nowhere — and no
+	// durable abort may contradict a durable decision.
+	committed, err := durableDecisions(perShard)
+	if err != nil {
+		return bs, err
+	}
 	bs.commits = len(committed)
 
 	// Expected per-shard state: each shard's durable records through the
